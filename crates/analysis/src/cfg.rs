@@ -1,0 +1,50 @@
+//! Bridging between [`Function`] CFGs and the analysis [`Graph`] type.
+
+use dswp_ir::{BlockId, Function};
+
+use crate::graph::Graph;
+
+/// Builds the block-level CFG of `f` as a [`Graph`] (node `i` is block `i`).
+pub fn cfg_graph(f: &Function) -> Graph {
+    let mut g = Graph::new(f.num_blocks());
+    for b in f.block_ids() {
+        for s in f.successors(b) {
+            g.add_edge(b.index(), s.index());
+        }
+    }
+    g
+}
+
+/// Converts a dense node id back to a [`BlockId`].
+#[inline]
+pub fn node_block(n: usize) -> BlockId {
+    BlockId::from_index(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dswp_ir::ProgramBuilder;
+
+    #[test]
+    fn cfg_matches_function_edges() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let e = f.entry_block();
+        let a = f.block("a");
+        let b = f.block("b");
+        let c = f.reg();
+        f.switch_to(e);
+        f.iconst(c, 1);
+        f.br(c, a, b);
+        f.switch_to(a);
+        f.halt();
+        f.switch_to(b);
+        f.halt();
+        let main = f.finish();
+        let p = pb.finish(main, 0);
+        let g = cfg_graph(p.function(main));
+        assert_eq!(g.succs(0), &[1, 2]);
+        assert!(g.succs(1).is_empty());
+    }
+}

@@ -1,0 +1,385 @@
+//! Register dataflow: whole-function liveness and loop-level reaching
+//! definitions with loop-carried tagging.
+//!
+//! The DSWP dependence graph needs, for every register use inside the loop,
+//! the set of defining instructions that may reach it, with each dependence
+//! classified as *intra-iteration* or *loop-carried* (Section 2.2.1 of the
+//! paper, Figure 2(b)'s solid vs dashed arcs). Definitions that reach from
+//! outside the loop become *live-in* pseudo-dependences (initial flows), and
+//! definitions reaching a loop exit at which the register is live become
+//! *live-out* pseudo-dependences (final flows).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+use dswp_ir::{BlockId, Function, InstrId, Reg};
+
+use crate::loops::NaturalLoop;
+
+/// Whole-function block-level liveness.
+#[derive(Clone, Debug)]
+pub struct Liveness {
+    live_in: Vec<BTreeSet<Reg>>,
+}
+
+impl Liveness {
+    /// Computes liveness for `f` by the usual backward fixpoint.
+    pub fn compute(f: &Function) -> Self {
+        let n = f.num_blocks();
+        // Per-block upward-exposed uses and kills.
+        let mut gen = vec![BTreeSet::new(); n];
+        let mut kill = vec![BTreeSet::new(); n];
+        for b in f.block_ids() {
+            let (g, k) = (&mut gen[b.index()], &mut kill[b.index()]);
+            for &i in f.block(b).instrs() {
+                let op = f.op(i);
+                for u in op.uses() {
+                    if !k.contains(&u) {
+                        g.insert(u);
+                    }
+                }
+                if let Some(d) = op.def() {
+                    k.insert(d);
+                }
+            }
+        }
+
+        let preds = f.predecessors();
+        let mut live_in = vec![BTreeSet::new(); n];
+        let mut live_out = vec![BTreeSet::new(); n];
+        let mut work: VecDeque<usize> = (0..n).collect();
+        while let Some(b) = work.pop_front() {
+            let block = BlockId::from_index(b);
+            let mut out = BTreeSet::new();
+            for s in f.successors(block) {
+                out.extend(live_in[s.index()].iter().copied());
+            }
+            let mut inn: BTreeSet<Reg> = gen[b].clone();
+            inn.extend(out.difference(&kill[b]).copied());
+            let changed = inn != live_in[b];
+            live_out[b] = out;
+            if changed {
+                live_in[b] = inn;
+                for &p in &preds[b] {
+                    if !work.contains(&p.index()) {
+                        work.push_back(p.index());
+                    }
+                }
+            }
+        }
+        Liveness { live_in }
+    }
+
+    /// Registers live at the entry of `block`.
+    pub fn live_in(&self, block: BlockId) -> &BTreeSet<Reg> {
+        &self.live_in[block.index()]
+    }
+}
+
+/// A register flow dependence inside a loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct RegDep {
+    /// Defining instruction.
+    pub def: InstrId,
+    /// Using instruction.
+    pub use_: InstrId,
+    /// The register carrying the value.
+    pub reg: Reg,
+    /// Whether the value flows around the loop back edge.
+    pub carried: bool,
+}
+
+/// Register dataflow facts of one loop.
+#[derive(Clone, Debug, Default)]
+pub struct LoopDataFlow {
+    /// def → use flow dependences among loop instructions.
+    pub reg_deps: Vec<RegDep>,
+    /// Uses reached by a definition from outside the loop: `(reg, use)`.
+    pub live_in_uses: Vec<(Reg, InstrId)>,
+    /// Definitions reaching a loop exit at which the register is live:
+    /// `(reg, def)`.
+    pub live_out_defs: Vec<(Reg, InstrId)>,
+    /// Registers with at least one external reaching definition used in the
+    /// loop (loop live-ins).
+    pub live_ins: BTreeSet<Reg>,
+    /// Registers defined in the loop and live at some exit (loop live-outs).
+    pub live_outs: BTreeSet<Reg>,
+    /// Live-out registers whose pre-loop value may also survive to the exit
+    /// (conditionally (re)defined inside the loop).
+    pub live_out_external: BTreeSet<Reg>,
+}
+
+/// A reaching definition site: `-1` encodes "defined outside the loop",
+/// otherwise the instruction index.
+type Site = i64;
+const EXTERNAL: Site = -1;
+type RegState = BTreeMap<Reg, BTreeSet<(Site, bool)>>;
+
+/// Computes [`LoopDataFlow`] for loop `l` of `f` given whole-function
+/// `liveness`.
+///
+/// Only true (flow) dependences are produced: output- and anti-dependences
+/// are ignored per Section 2.2.1 of the paper (threads get private register
+/// files); the live-out coupling of Figure 5(b) is handled separately by the
+/// PDG builder using [`LoopDataFlow::live_out_defs`].
+pub fn loop_dataflow(f: &Function, l: &NaturalLoop, liveness: &Liveness) -> LoopDataFlow {
+    let in_loop = |b: BlockId| l.contains(b);
+
+    // Phase 1: fixpoint on block-entry states.
+    let mut in_states: HashMap<BlockId, RegState> = HashMap::new();
+    let mut header_seed: RegState = RegState::new();
+    for r in 0..f.num_regs() {
+        header_seed
+            .entry(Reg(r))
+            .or_default()
+            .insert((EXTERNAL, false));
+    }
+    in_states.insert(l.header, header_seed);
+
+    let mut work: VecDeque<BlockId> = VecDeque::new();
+    work.push_back(l.header);
+    while let Some(b) = work.pop_front() {
+        let mut state = in_states.get(&b).cloned().unwrap_or_default();
+        transfer_block(f, b, &mut state, None);
+        for s in f.successors(b) {
+            if !in_loop(s) {
+                continue;
+            }
+            let carried = s == l.header;
+            let mut delta = state.clone();
+            if carried {
+                for sites in delta.values_mut() {
+                    let lifted: BTreeSet<(Site, bool)> =
+                        sites.iter().map(|&(d, _)| (d, true)).collect();
+                    *sites = lifted;
+                }
+            }
+            let dst = in_states.entry(s).or_default();
+            let mut changed = false;
+            for (r, sites) in delta {
+                let e = dst.entry(r).or_default();
+                for site in sites {
+                    changed |= e.insert(site);
+                }
+            }
+            if changed && !work.contains(&s) {
+                work.push_back(s);
+            }
+        }
+    }
+
+    // Phase 2: one pass per block recording dependences and exit facts.
+    let mut flow = LoopDataFlow::default();
+    let mut seen_dep = BTreeSet::new();
+    let mut seen_live_in = BTreeSet::new();
+    let mut live_out_sets: BTreeMap<Reg, BTreeSet<Site>> = BTreeMap::new();
+
+    for &b in &l.blocks {
+        let mut state = in_states.get(&b).cloned().unwrap_or_default();
+        let mut on_use = |r: Reg, u: InstrId, state: &RegState| {
+            if let Some(sites) = state.get(&r) {
+                for &(site, carried) in sites {
+                    if site == EXTERNAL {
+                        if seen_live_in.insert((r, u)) {
+                            flow.live_in_uses.push((r, u));
+                            flow.live_ins.insert(r);
+                        }
+                    } else {
+                        let dep = RegDep {
+                            def: InstrId(site as u32),
+                            use_: u,
+                            reg: r,
+                            carried,
+                        };
+                        if seen_dep.insert(dep) {
+                            flow.reg_deps.push(dep);
+                        }
+                    }
+                }
+            }
+        };
+        transfer_block(f, b, &mut state, Some(&mut on_use));
+
+        // Exit edges: record which definitions reach a live register.
+        for s in f.successors(b) {
+            if l.contains(s) {
+                continue;
+            }
+            for &r in liveness.live_in(s) {
+                if let Some(sites) = state.get(&r) {
+                    let entry = live_out_sets.entry(r).or_default();
+                    for &(site, _) in sites {
+                        entry.insert(site);
+                    }
+                }
+            }
+        }
+    }
+
+    for (r, sites) in live_out_sets {
+        let internal: Vec<Site> = sites.iter().copied().filter(|&s| s != EXTERNAL).collect();
+        if internal.is_empty() {
+            continue; // loop never defines it; not a DSWP live-out
+        }
+        flow.live_outs.insert(r);
+        if sites.contains(&EXTERNAL) {
+            flow.live_out_external.insert(r);
+        }
+        for s in internal {
+            flow.live_out_defs.push((r, InstrId(s as u32)));
+        }
+    }
+    flow.reg_deps.sort();
+    flow.live_in_uses.sort();
+    flow.live_out_defs.sort();
+    flow
+}
+
+/// Applies a block's transfer function to `state`, optionally reporting
+/// register uses through `on_use` (with the state *before* the using
+/// instruction's own definition).
+fn transfer_block(
+    f: &Function,
+    b: BlockId,
+    state: &mut RegState,
+    mut on_use: Option<&mut dyn FnMut(Reg, InstrId, &RegState)>,
+) {
+    for &i in f.block(b).instrs() {
+        let op = f.op(i);
+        if let Some(cb) = on_use.as_deref_mut() {
+            for u in op.uses() {
+                cb(u, i, state);
+            }
+        }
+        if let Some(d) = op.def() {
+            let mut set = BTreeSet::new();
+            set.insert((i.index() as Site, false));
+            state.insert(d, set);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loops::find_loops;
+    use dswp_ir::{Program, ProgramBuilder};
+
+    /// entry: i=0, sum=0, n=10 ; header: done = i>=n ; br done exit body ;
+    /// body: sum+=i; i+=1; jump header ; exit: store sum ; halt
+    fn sum_loop() -> (Program, Vec<InstrId>) {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let e = f.entry_block();
+        let header = f.block("header");
+        let body = f.block("body");
+        let exit = f.block("exit");
+        let (i, sum, n, base, done) = (f.reg(), f.reg(), f.reg(), f.reg(), f.reg());
+        let mut ids = Vec::new();
+        f.switch_to(e);
+        ids.push(f.iconst(i, 0)); // 0
+        ids.push(f.iconst(sum, 0)); // 1
+        ids.push(f.iconst(n, 10)); // 2
+        ids.push(f.iconst(base, 0)); // 3
+        ids.push(f.jump(header)); // 4
+        f.switch_to(header);
+        ids.push(f.cmp_ge(done, i, n)); // 5
+        ids.push(f.br(done, exit, body)); // 6
+        f.switch_to(body);
+        ids.push(f.add(sum, sum, i)); // 7
+        ids.push(f.add(i, i, 1)); // 8
+        ids.push(f.jump(header)); // 9
+        f.switch_to(exit);
+        ids.push(f.store(sum, base, 0)); // 10
+        ids.push(f.halt()); // 11
+        let main = f.finish();
+        (pb.finish(main, 4), ids)
+    }
+
+    #[test]
+    fn liveness_at_loop_exit() {
+        let (p, _) = sum_loop();
+        let f = p.function(p.main());
+        let lv = Liveness::compute(f);
+        // At exit block entry, sum (r1) and base (r3) are live.
+        let live = lv.live_in(BlockId(3));
+        assert!(live.contains(&Reg(1)));
+        assert!(live.contains(&Reg(3)));
+        assert!(!live.contains(&Reg(0)));
+    }
+
+    #[test]
+    fn loop_dataflow_finds_carried_and_intra_deps() {
+        let (p, ids) = sum_loop();
+        let f = p.function(p.main());
+        let lv = Liveness::compute(f);
+        let l = &find_loops(f)[0];
+        let df = loop_dataflow(f, l, &lv);
+
+        let dep = |def: usize, use_: usize, carried: bool| RegDep {
+            def: ids[def],
+            use_: ids[use_],
+            reg: f.op(ids[def]).def().unwrap(),
+            carried,
+        };
+        // i += 1 (8) feeds the compare (5) and both adds (7, 8) carried.
+        assert!(df.reg_deps.contains(&dep(8, 5, true)), "{:?}", df.reg_deps);
+        assert!(df.reg_deps.contains(&dep(8, 8, true)));
+        assert!(df.reg_deps.contains(&dep(8, 7, true)));
+        // sum += i (7) feeds itself carried.
+        assert!(df.reg_deps.contains(&dep(7, 7, true)));
+        // The compare feeds the branch intra-iteration.
+        assert!(df.reg_deps.contains(&dep(5, 6, false)));
+        // i's use in block body after redef? add(i,i,1) defines i after
+        // using it: the use sees both carried (from 8) and external (first
+        // iteration).
+        assert!(df.live_ins.contains(&Reg(0)));
+        assert!(df.live_ins.contains(&Reg(1)));
+        assert!(df.live_ins.contains(&Reg(2))); // n
+        // sum is live-out, defined at 7, and on the zero-trip path the
+        // external value survives.
+        assert!(df.live_outs.contains(&Reg(1)));
+        assert!(df.live_out_defs.contains(&(Reg(1), ids[7])));
+        assert!(df.live_out_external.contains(&Reg(1)));
+        // i is not live out (dead after the loop).
+        assert!(!df.live_outs.contains(&Reg(0)));
+    }
+
+    #[test]
+    fn unconditional_redefinition_is_not_external_live_out() {
+        // loop body always redefines x before exiting only via the header.
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let e = f.entry_block();
+        let header = f.block("header");
+        let body = f.block("body");
+        let exit = f.block("exit");
+        let (x, i, n, done, base) = (f.reg(), f.reg(), f.reg(), f.reg(), f.reg());
+        f.switch_to(e);
+        f.iconst(x, 0);
+        f.iconst(i, 0);
+        f.iconst(n, 5);
+        f.iconst(base, 0);
+        f.jump(header);
+        f.switch_to(header);
+        f.cmp_ge(done, i, n);
+        f.br(done, exit, body);
+        f.switch_to(body);
+        let xdef = f.add(x, i, 100);
+        f.add(i, i, 1);
+        f.jump(header);
+        f.switch_to(exit);
+        f.store(x, base, 0);
+        f.halt();
+        let main = f.finish();
+        let p = pb.finish(main, 1);
+        let func = p.function(main);
+        let lv = Liveness::compute(func);
+        let l = &find_loops(func)[0];
+        let df = loop_dataflow(func, l, &lv);
+        assert!(df.live_outs.contains(&Reg(0)));
+        assert!(df.live_out_defs.contains(&(Reg(0), xdef)));
+        // x's pre-loop value survives the zero-trip path (exit from header
+        // before any body execution), so it *is* externally reachable.
+        assert!(df.live_out_external.contains(&Reg(0)));
+    }
+}

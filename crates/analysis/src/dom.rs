@@ -1,0 +1,316 @@
+//! Dominator and post-dominator trees.
+//!
+//! Implemented with the Cooper–Harvey–Kennedy iterative algorithm over
+//! reverse post-order. Post-dominators are dominators of the reversed graph
+//! rooted at a virtual exit that every sink (return/halt block) feeds.
+
+use crate::graph::Graph;
+
+/// A dominator tree over a [`Graph`].
+///
+/// `idom[n]` is the immediate dominator of `n`; the entry is its own
+/// immediate dominator; unreachable nodes have `None`.
+#[derive(Clone, Debug)]
+pub struct DomTree {
+    entry: usize,
+    idom: Vec<Option<usize>>,
+    /// Reverse post-order index per node (used for intersection), `usize::MAX`
+    /// for unreachable nodes.
+    rpo_index: Vec<usize>,
+}
+
+impl DomTree {
+    /// Computes the dominator tree of `g` rooted at `entry`.
+    pub fn compute(g: &Graph, entry: usize) -> Self {
+        let rpo = g.reverse_post_order(entry);
+        let mut rpo_index = vec![usize::MAX; g.len()];
+        for (i, &n) in rpo.iter().enumerate() {
+            rpo_index[n] = i;
+        }
+        let preds = g.preds();
+        let mut idom: Vec<Option<usize>> = vec![None; g.len()];
+        idom[entry] = Some(entry);
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &n in rpo.iter().skip(1) {
+                // First processed predecessor with a known idom.
+                let mut new_idom: Option<usize> = None;
+                for &p in &preds[n] {
+                    if idom[p].is_some() {
+                        new_idom = Some(match new_idom {
+                            None => p,
+                            Some(cur) => intersect(&idom, &rpo_index, p, cur),
+                        });
+                    }
+                }
+                if let Some(ni) = new_idom {
+                    if idom[n] != Some(ni) {
+                        idom[n] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        DomTree {
+            entry,
+            idom,
+            rpo_index,
+        }
+    }
+
+    /// The immediate dominator of `n` (`None` for the entry itself and for
+    /// unreachable nodes).
+    pub fn idom(&self, n: usize) -> Option<usize> {
+        match self.idom[n] {
+            Some(d) if n != self.entry => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Whether `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: usize, b: usize) -> bool {
+        if self.idom[b].is_none() || self.idom[a].is_none() {
+            return false;
+        }
+        let mut n = b;
+        loop {
+            if n == a {
+                return true;
+            }
+            if n == self.entry {
+                return false;
+            }
+            n = self.idom[n].expect("reachable node has idom");
+        }
+    }
+
+    /// Whether `n` is reachable from the entry.
+    pub fn is_reachable(&self, n: usize) -> bool {
+        self.idom[n].is_some()
+    }
+
+    /// The tree root (graph entry).
+    pub fn root(&self) -> usize {
+        self.entry
+    }
+
+    fn intersect_pub(&self, a: usize, b: usize) -> usize {
+        intersect(&self.idom, &self.rpo_index, a, b)
+    }
+
+    /// Nearest common ancestor of `a` and `b` in the tree.
+    pub fn nearest_common_ancestor(&self, a: usize, b: usize) -> usize {
+        self.intersect_pub(a, b)
+    }
+}
+
+fn intersect(idom: &[Option<usize>], rpo_index: &[usize], a: usize, b: usize) -> usize {
+    let (mut a, mut b) = (a, b);
+    while a != b {
+        while rpo_index[a] > rpo_index[b] {
+            a = idom[a].expect("node in intersection has idom");
+        }
+        while rpo_index[b] > rpo_index[a] {
+            b = idom[b].expect("node in intersection has idom");
+        }
+    }
+    a
+}
+
+/// A post-dominator tree over a graph, rooted at a virtual exit node.
+///
+/// Built by reversing the graph and adding a virtual exit that is preceded
+/// by every sink node (a node with no successors). Nodes from which no sink
+/// is reachable (infinite loops) are unreachable in the post-dominance sense.
+#[derive(Clone, Debug)]
+pub struct PostDomTree {
+    dom: DomTree,
+    /// Dense id of the virtual exit node.
+    virtual_exit: usize,
+}
+
+impl PostDomTree {
+    /// Computes the post-dominator tree of `g`.
+    ///
+    /// `extra_exits` lists nodes that should additionally be connected to the
+    /// virtual exit even if they have successors (e.g. loop-exit blocks when
+    /// analyzing a loop sub-CFG in isolation).
+    pub fn compute(g: &Graph, extra_exits: &[usize]) -> Self {
+        let n = g.len();
+        let virtual_exit = n;
+        // Build reversed graph with the virtual exit as entry.
+        let mut rev = Graph::new(n + 1);
+        for u in 0..n {
+            for &v in g.succs(u) {
+                rev.add_edge(v, u);
+            }
+        }
+        for u in 0..n {
+            if g.succs(u).is_empty() {
+                rev.add_edge(virtual_exit, u);
+            }
+        }
+        for &u in extra_exits {
+            rev.add_edge(virtual_exit, u);
+        }
+        let dom = DomTree::compute(&rev, virtual_exit);
+        PostDomTree { dom, virtual_exit }
+    }
+
+    /// The immediate post-dominator of `n`. `None` when `n`'s only
+    /// post-dominator is the virtual exit, or when `n` cannot reach an exit.
+    pub fn ipdom(&self, n: usize) -> Option<usize> {
+        match self.dom.idom(n) {
+            Some(d) if d != self.virtual_exit => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Whether `a` post-dominates `b` (reflexive).
+    pub fn post_dominates(&self, a: usize, b: usize) -> bool {
+        self.dom.dominates(a, b)
+    }
+
+    /// Whether `n` can reach an exit at all (nodes inside exitless cycles
+    /// have no defined post-dominators).
+    pub fn reaches_exit(&self, n: usize) -> bool {
+        self.dom.is_reachable(n)
+    }
+
+    /// Walks the post-dominator chain of `n` (exclusive of `n`), up to the
+    /// virtual exit.
+    pub fn chain(&self, n: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut cur = n;
+        while let Some(d) = self.dom.idom(cur) {
+            if d == self.virtual_exit {
+                break;
+            }
+            out.push(d);
+            cur = d;
+        }
+        out
+    }
+
+    /// Nearest common ancestor in the post-dominator tree (may be the
+    /// virtual exit, in which case `None` is returned).
+    pub fn nca(&self, a: usize, b: usize) -> Option<usize> {
+        if !self.dom.is_reachable(a) || !self.dom.is_reachable(b) {
+            return None;
+        }
+        let r = self.dom.nearest_common_ancestor(a, b);
+        (r != self.virtual_exit).then_some(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // 0 -> 1 -> 3, 0 -> 2 -> 3, 3 -> 4
+    fn diamond_tail() -> Graph {
+        let mut g = Graph::new(5);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 3);
+        g.add_edge(3, 4);
+        g
+    }
+
+    #[test]
+    fn idoms_of_diamond() {
+        let g = diamond_tail();
+        let d = DomTree::compute(&g, 0);
+        assert_eq!(d.idom(0), None);
+        assert_eq!(d.idom(1), Some(0));
+        assert_eq!(d.idom(2), Some(0));
+        assert_eq!(d.idom(3), Some(0));
+        assert_eq!(d.idom(4), Some(3));
+        assert!(d.dominates(0, 4));
+        assert!(d.dominates(3, 4));
+        assert!(!d.dominates(1, 3));
+        assert!(d.dominates(2, 2));
+    }
+
+    #[test]
+    fn dominators_with_loop() {
+        // 0 -> 1 -> 2 -> 1, 2 -> 3
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 1);
+        g.add_edge(2, 3);
+        let d = DomTree::compute(&g, 0);
+        assert_eq!(d.idom(1), Some(0));
+        assert_eq!(d.idom(2), Some(1));
+        assert_eq!(d.idom(3), Some(2));
+        assert!(d.dominates(1, 3));
+    }
+
+    #[test]
+    fn post_dominators_of_diamond() {
+        let g = diamond_tail();
+        let pd = PostDomTree::compute(&g, &[]);
+        assert_eq!(pd.ipdom(0), Some(3));
+        assert_eq!(pd.ipdom(1), Some(3));
+        assert_eq!(pd.ipdom(2), Some(3));
+        assert_eq!(pd.ipdom(3), Some(4));
+        assert_eq!(pd.ipdom(4), None);
+        assert!(pd.post_dominates(3, 0));
+        assert!(!pd.post_dominates(1, 0));
+        assert_eq!(pd.chain(0), vec![3, 4]);
+    }
+
+    #[test]
+    fn unreachable_nodes_have_no_idom() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1);
+        let d = DomTree::compute(&g, 0);
+        assert_eq!(d.idom(2), None);
+        assert!(!d.is_reachable(2));
+        assert!(!d.dominates(0, 2));
+    }
+
+    #[test]
+    fn dominance_is_brute_force_correct_on_small_graph() {
+        // Compare against the definition: a dom b iff every path 0 -> b
+        // passes through a. Enumerate by removing a and checking reachability.
+        let g = diamond_tail();
+        let d = DomTree::compute(&g, 0);
+        for a in 0..5 {
+            for b in 0..5 {
+                let brute = brute_dominates(&g, 0, a, b);
+                assert_eq!(d.dominates(a, b), brute, "a={a} b={b}");
+            }
+        }
+    }
+
+    fn brute_dominates(g: &Graph, entry: usize, a: usize, b: usize) -> bool {
+        if a == b {
+            return g.reachable(entry)[b];
+        }
+        if !g.reachable(entry)[b] {
+            return false;
+        }
+        // Reachability of b from entry avoiding a.
+        let mut seen = vec![false; g.len()];
+        let mut stack = vec![entry];
+        if entry == a {
+            return true;
+        }
+        seen[entry] = true;
+        while let Some(n) = stack.pop() {
+            for &s in g.succs(n) {
+                if s != a && !seen[s] {
+                    seen[s] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        !seen[b]
+    }
+}

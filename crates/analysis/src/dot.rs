@@ -1,0 +1,167 @@
+//! Graphviz (`dot`) export of dependence graphs.
+//!
+//! Renders a loop [`Pdg`] — or its coalesced `DAG_SCC` — the way the paper
+//! draws them (Figure 2(b)/(c)): solid arcs for intra-iteration
+//! dependences, dashed arcs for loop-carried ones, data arcs annotated with
+//! the register they carry, SCCs grouped as clusters.
+
+use std::fmt::Write as _;
+
+use dswp_ir::Function;
+
+use crate::pdg::{DepKind, Pdg, PdgNode};
+use crate::scc::DagScc;
+
+/// Renders `pdg` as a Graphviz digraph, grouping each multi-node SCC of
+/// `dag` into a cluster (pass the `DAG_SCC` computed from
+/// [`Pdg::instr_graph`]).
+pub fn pdg_to_dot(f: &Function, pdg: &Pdg, dag: Option<&DagScc>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph pdg {{");
+    let _ = writeln!(out, "  rankdir=TB; node [shape=box, fontname=\"monospace\"];");
+
+    let label = |n: usize| -> String {
+        match pdg.nodes()[n] {
+            PdgNode::Instr(i) => format!("{i}: {}", f.op(i)).replace('"', "'"),
+            PdgNode::LiveIn(r) => format!("live-in {r}"),
+            PdgNode::LiveOut(r) => format!("live-out {r}"),
+        }
+    };
+
+    match dag {
+        Some(dag) => {
+            for (ci, comp) in dag.sccs.iter().enumerate() {
+                if comp.len() > 1 {
+                    let _ = writeln!(out, "  subgraph cluster_scc{ci} {{");
+                    let _ = writeln!(out, "    label=\"SCC {ci}\"; style=rounded;");
+                    for &n in comp {
+                        let _ = writeln!(out, "    n{n} [label=\"{}\"];", label(n));
+                    }
+                    let _ = writeln!(out, "  }}");
+                } else {
+                    let n = comp[0];
+                    let _ = writeln!(out, "  n{n} [label=\"{}\"];", label(n));
+                }
+            }
+            // Pseudo nodes are outside the SCC universe.
+            for n in pdg.num_instr_nodes()..pdg.nodes().len() {
+                let _ = writeln!(out, "  n{n} [label=\"{}\", shape=ellipse];", label(n));
+            }
+        }
+        None => {
+            for n in 0..pdg.nodes().len() {
+                let shape = if n < pdg.num_instr_nodes() {
+                    "box"
+                } else {
+                    "ellipse"
+                };
+                let _ = writeln!(out, "  n{n} [label=\"{}\", shape={shape}];", label(n));
+            }
+        }
+    }
+
+    for a in pdg.arcs() {
+        let style = if a.carried { "dashed" } else { "solid" };
+        let (color, lbl) = match a.kind {
+            DepKind::Data(r) => ("black", format!("{r}")),
+            DepKind::Control => ("blue", String::new()),
+            DepKind::CondControl => ("steelblue", "cond".into()),
+            DepKind::Memory => ("red", "mem".into()),
+            DepKind::Output => ("orange", "out".into()),
+        };
+        let _ = writeln!(
+            out,
+            "  n{} -> n{} [style={style}, color={color}, label=\"{lbl}\"];",
+            a.src, a.dst
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders just the coalesced `DAG_SCC` (one node per SCC, labeled with its
+/// instruction count, like Figure 7's diagrams).
+pub fn dag_to_dot(dag: &DagScc) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph dag_scc {{");
+    let _ = writeln!(out, "  rankdir=TB; node [shape=circle];");
+    for (ci, comp) in dag.sccs.iter().enumerate() {
+        let _ = writeln!(out, "  s{ci} [label=\"{}\"];", comp.len());
+    }
+    for &(a, b) in &dag.arcs {
+        let _ = writeln!(out, "  s{a} -> s{b};");
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataflow::Liveness;
+    use crate::loops::find_loops;
+    use crate::pdg::{build_pdg, PdgOptions};
+    use dswp_ir::ProgramBuilder;
+
+    fn sample() -> (dswp_ir::Program, dswp_ir::FuncId) {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let e = f.entry_block();
+        let h = f.block("h");
+        let x = f.block("x");
+        let (ptr, v, done, sum) = (f.reg(), f.reg(), f.reg(), f.reg());
+        f.switch_to(e);
+        f.iconst(ptr, 1);
+        f.iconst(sum, 0);
+        f.jump(h);
+        f.switch_to(h);
+        f.cmp_eq(done, ptr, 0);
+        f.load(v, ptr, 1);
+        f.add(sum, sum, v);
+        f.load(ptr, ptr, 0);
+        f.br(done, x, h);
+        f.switch_to(x);
+        let b = f.reg();
+        f.iconst(b, 0);
+        f.store(sum, b, 0);
+        f.halt();
+        let main = f.finish();
+        (pb.finish(main, 8), main)
+    }
+
+    #[test]
+    fn dot_output_is_well_formed() {
+        let (p, main) = sample();
+        let f = p.function(main);
+        let liveness = Liveness::compute(f);
+        let l = &find_loops(f)[0];
+        let pdg = build_pdg(f, l, &liveness, &PdgOptions::default());
+        let dag = DagScc::compute(&pdg.instr_graph());
+
+        let dot = pdg_to_dot(f, &pdg, Some(&dag));
+        assert!(dot.starts_with("digraph pdg {"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert!(dot.contains("live-in"));
+        assert!(dot.contains("style=dashed"), "carried arcs render dashed");
+        assert!(dot.contains("->"));
+        // Balanced braces.
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+
+        let dag_dot = dag_to_dot(&dag);
+        assert!(dag_dot.starts_with("digraph dag_scc {"));
+        assert_eq!(dag_dot.matches("s0").count() >= 1, true);
+    }
+
+    #[test]
+    fn dot_without_clusters_lists_every_node() {
+        let (p, main) = sample();
+        let f = p.function(main);
+        let liveness = Liveness::compute(f);
+        let l = &find_loops(f)[0];
+        let pdg = build_pdg(f, l, &liveness, &PdgOptions::default());
+        let dot = pdg_to_dot(f, &pdg, None);
+        for n in 0..pdg.nodes().len() {
+            assert!(dot.contains(&format!("n{n} [")), "node {n} missing");
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! A minimal directed-graph representation shared by the dominator,
+//! control-dependence and SCC computations.
+//!
+//! The analyses in this crate run both on function CFGs and on *derived*
+//! graphs (the reversed CFG for post-dominators, the peeled loop CFG for
+//! loop-iteration control dependence, the PDG for SCCs), so they are written
+//! against this plain adjacency-list type rather than against
+//! [`Function`](dswp_ir::Function) directly.
+
+/// A directed graph over dense node ids `0..n`.
+#[derive(Clone, Debug)]
+pub struct Graph {
+    succs: Vec<Vec<usize>>,
+}
+
+impl Graph {
+    /// Creates a graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            succs: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Whether the graph has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+
+    /// Adds an edge `from → to` (parallel edges are collapsed).
+    pub fn add_edge(&mut self, from: usize, to: usize) {
+        if !self.succs[from].contains(&to) {
+            self.succs[from].push(to);
+        }
+    }
+
+    /// Successors of `node`.
+    #[inline]
+    pub fn succs(&self, node: usize) -> &[usize] {
+        &self.succs[node]
+    }
+
+    /// Computes the predecessor lists of every node.
+    pub fn preds(&self) -> Vec<Vec<usize>> {
+        let mut preds = vec![Vec::new(); self.len()];
+        for (u, ss) in self.succs.iter().enumerate() {
+            for &v in ss {
+                preds[v].push(u);
+            }
+        }
+        preds
+    }
+
+    /// The graph with all edges reversed.
+    pub fn reversed(&self) -> Graph {
+        let mut g = Graph::new(self.len());
+        for (u, ss) in self.succs.iter().enumerate() {
+            for &v in ss {
+                g.add_edge(v, u);
+            }
+        }
+        g
+    }
+
+    /// Reverse post-order of the nodes reachable from `entry`.
+    pub fn reverse_post_order(&self, entry: usize) -> Vec<usize> {
+        let mut visited = vec![false; self.len()];
+        let mut order = Vec::with_capacity(self.len());
+        // Iterative DFS with an explicit "post" marker to avoid recursion.
+        let mut stack = vec![(entry, 0usize)];
+        visited[entry] = true;
+        while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+            if *next < self.succs[node].len() {
+                let s = self.succs[node][*next];
+                *next += 1;
+                if !visited[s] {
+                    visited[s] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                order.push(node);
+                stack.pop();
+            }
+        }
+        order.reverse();
+        order
+    }
+
+    /// Nodes reachable from `entry` (including `entry`).
+    pub fn reachable(&self, entry: usize) -> Vec<bool> {
+        let mut seen = vec![false; self.len()];
+        let mut stack = vec![entry];
+        seen[entry] = true;
+        while let Some(n) = stack.pop() {
+            for &s in &self.succs[n] {
+                if !seen[s] {
+                    seen[s] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Graph {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 3);
+        g
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_reachable() {
+        let g = diamond();
+        let rpo = g.reverse_post_order(0);
+        assert_eq!(rpo[0], 0);
+        assert_eq!(rpo.len(), 4);
+        assert_eq!(*rpo.last().unwrap(), 3);
+    }
+
+    #[test]
+    fn rpo_ignores_unreachable() {
+        let mut g = diamond();
+        let _ = &mut g; // node 4 unreachable
+        let mut g = Graph::new(5);
+        g.add_edge(0, 1);
+        let rpo = g.reverse_post_order(0);
+        assert_eq!(rpo, vec![0, 1]);
+    }
+
+    #[test]
+    fn reversed_swaps_edges() {
+        let g = diamond().reversed();
+        assert!(g.succs(3).contains(&1) && g.succs(3).contains(&2));
+        assert!(g.succs(0).is_empty());
+    }
+
+    #[test]
+    fn parallel_edges_collapse() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1);
+        g.add_edge(0, 1);
+        assert_eq!(g.succs(0).len(), 1);
+    }
+
+    #[test]
+    fn reachable_set() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(2, 3);
+        let r = g.reachable(0);
+        assert_eq!(r, vec![true, true, false, false]);
+    }
+
+    #[test]
+    fn rpo_handles_cycles() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 1);
+        let rpo = g.reverse_post_order(0);
+        assert_eq!(rpo[0], 0);
+        assert_eq!(rpo.len(), 3);
+    }
+}

@@ -1,0 +1,146 @@
+//! Property tests checking the core graph analyses against brute-force
+//! oracles on random graphs.
+
+use proptest::prelude::*;
+
+use dswp_analysis::{control_deps, strongly_connected_components, DomTree, Graph, PostDomTree};
+
+/// A random directed graph with `n` nodes and the given edge list.
+fn graph_strategy(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2usize..max_n).prop_flat_map(|n| {
+        prop::collection::vec((0..n, 0..n), 0..n * 3).prop_map(move |edges| {
+            let mut g = Graph::new(n);
+            // Make node 0 reach a spine so most nodes are reachable.
+            for i in 1..n {
+                if i % 2 == 1 {
+                    g.add_edge(i - 1, i);
+                }
+            }
+            for (a, b) in edges {
+                if a != b {
+                    g.add_edge(a, b);
+                }
+            }
+            g
+        })
+    })
+}
+
+fn brute_dominates(g: &Graph, entry: usize, a: usize, b: usize) -> bool {
+    // a dominates b iff b is unreachable from entry when a is removed
+    // (and b is reachable at all).
+    let reach = g.reachable(entry);
+    if !reach[b] {
+        return false;
+    }
+    if a == b {
+        return true;
+    }
+    if entry == a {
+        return true;
+    }
+    let mut seen = vec![false; g.len()];
+    let mut stack = vec![entry];
+    seen[entry] = true;
+    while let Some(x) = stack.pop() {
+        for &s in g.succs(x) {
+            if s != a && !seen[s] {
+                seen[s] = true;
+                stack.push(s);
+            }
+        }
+    }
+    !seen[b]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn dominators_match_brute_force(g in graph_strategy(10)) {
+        let dom = DomTree::compute(&g, 0);
+        for a in 0..g.len() {
+            for b in 0..g.len() {
+                let brute = brute_dominates(&g, 0, a, b);
+                prop_assert_eq!(
+                    dom.dominates(a, b), brute,
+                    "a={} b={} graph={:?}", a, b, g
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn post_dominance_is_dominance_of_the_reverse(g in graph_strategy(9)) {
+        // Build the reversed graph with a virtual exit feeding all sinks,
+        // and check PostDomTree agrees with brute-force dominance there.
+        let pd = PostDomTree::compute(&g, &[]);
+        let n = g.len();
+        let mut rev = Graph::new(n + 1);
+        for u in 0..n {
+            for &v in g.succs(u) {
+                rev.add_edge(v, u);
+            }
+            if g.succs(u).is_empty() {
+                rev.add_edge(n, u);
+            }
+        }
+        for a in 0..n {
+            for b in 0..n {
+                let brute = brute_dominates(&rev, n, a, b);
+                prop_assert_eq!(pd.post_dominates(a, b), brute, "a={} b={}", a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn control_deps_match_definition(g in graph_strategy(9)) {
+        // Ferrante-Ottenstein-Warren: q is control dependent on p iff p has
+        // a successor s with q post-dominating s, and q does not strictly
+        // post-dominate p.
+        let deps = control_deps(&g, &[]);
+        let pd = PostDomTree::compute(&g, &[]);
+        for q in 0..g.len() {
+            for p in 0..g.len() {
+                let expected = g.succs(p).len() >= 2
+                    && g.succs(p).iter().any(|&s| pd.post_dominates(q, s))
+                    && !(q != p && pd.post_dominates(q, p));
+                prop_assert_eq!(
+                    deps[q].contains(&p),
+                    expected,
+                    "q={} p={} graph={:?}", q, p, g
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sccs_match_mutual_reachability(g in graph_strategy(12)) {
+        let sccs = strongly_connected_components(&g);
+        // Partition: every node in exactly one component.
+        let mut owner = vec![usize::MAX; g.len()];
+        for (ci, comp) in sccs.iter().enumerate() {
+            for &v in comp {
+                prop_assert_eq!(owner[v], usize::MAX);
+                owner[v] = ci;
+            }
+        }
+        prop_assert!(owner.iter().all(|&o| o != usize::MAX));
+
+        let reach: Vec<Vec<bool>> = (0..g.len()).map(|v| g.reachable(v)).collect();
+        for u in 0..g.len() {
+            for v in 0..g.len() {
+                let same = reach[u][v] && reach[v][u];
+                prop_assert_eq!(owner[u] == owner[v], same, "u={} v={}", u, v);
+            }
+        }
+        // Topological order of components.
+        for u in 0..g.len() {
+            for &v in g.succs(u) {
+                if owner[u] != owner[v] {
+                    prop_assert!(owner[u] < owner[v]);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Regenerates every table and figure of the paper in one run.
+//!
+//! Invoked by `cargo bench -p dswp-bench --bench paper_results`. Set
+//! `DSWP_BENCH_SIZE=test` for a fast smoke run.
+
+use dswp_bench::figures::*;
+use dswp_bench::runner::Experiment;
+
+fn main() {
+    let exp = Experiment::from_env();
+    println!("DSWP paper-results harness (size {:?})\n", exp.size);
+
+    let rows = table1(&exp);
+    print_table1(&rows);
+    println!();
+
+    let runs = figure6(&exp);
+    print_fig6a(&runs);
+    println!();
+    print_fig6b(&runs);
+    println!();
+    print_fig8(&runs);
+    println!();
+
+    let f7 = figure7(&exp);
+    print_fig7(&f7);
+    println!();
+
+    let f9a = figure9a(&exp);
+    print_fig9a(&f9a);
+    println!();
+
+    let f9b = figure9b(&exp);
+    print_fig9b(&f9b);
+    println!();
+
+    let qs = queue_size_sweep(&exp);
+    print_queue_size(&qs);
+    println!();
+
+    let f1 = figure1_contrast(&exp);
+    print_figure1(&f1);
+    println!();
+
+    print_case_studies(&exp);
+    println!();
+
+    print_ilp_study(&ilp_study(&exp));
+}

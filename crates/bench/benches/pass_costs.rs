@@ -1,0 +1,107 @@
+//! Criterion micro-benchmarks of the compiler passes and the simulator:
+//! PDG construction, SCC/DAG coalescing, the TPP heuristic, the full DSWP
+//! transformation, and timing-model throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dswp::{analyze_loop, dswp_loop, scc_costs, tpp_heuristic, DswpOptions, TppOptions};
+use dswp_analysis::{build_pdg, find_loops, AliasMode, DagScc, Liveness, PdgOptions};
+use dswp_ir::interp::Interpreter;
+use dswp_ir::LatencyTable;
+use dswp_sim::{Machine, MachineConfig};
+use dswp_workloads::{mcf, Size};
+
+fn bench_passes(c: &mut Criterion) {
+    let w = mcf::build(Size::Test);
+    let main = w.program.main();
+    let analysis = analyze_loop(&w.program, main, w.header, AliasMode::Region).unwrap();
+    let f = analysis.normalized.function(main);
+    let liveness = Liveness::compute(f);
+    let profile = Interpreter::new(&w.program).run().unwrap().profile;
+
+    c.bench_function("pdg_build_mcf", |b| {
+        b.iter(|| {
+            build_pdg(
+                black_box(f),
+                &analysis.loop_,
+                &liveness,
+                &PdgOptions {
+                    alias: AliasMode::Region,
+                },
+            )
+        })
+    });
+
+    c.bench_function("dag_scc_mcf", |b| {
+        b.iter(|| DagScc::compute(&black_box(&analysis.pdg).instr_graph()))
+    });
+
+    let costs = scc_costs(
+        f,
+        main,
+        &analysis.pdg,
+        &analysis.dag,
+        &profile,
+        &LatencyTable::default(),
+    );
+    c.bench_function("tpp_heuristic_mcf", |b| {
+        b.iter(|| tpp_heuristic(black_box(&analysis.dag), &costs, &TppOptions::default()))
+    });
+
+    c.bench_function("dswp_full_transform_mcf", |b| {
+        b.iter(|| {
+            let mut p = w.program.clone();
+            dswp_loop(
+                &mut p,
+                main,
+                w.header,
+                &profile,
+                &DswpOptions::default(),
+            )
+            .unwrap()
+        })
+    });
+
+    c.bench_function("find_loops_mcf", |b| {
+        b.iter(|| find_loops(black_box(w.program.function(main))))
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let w = mcf::build(Size::Test);
+    c.bench_function("timing_sim_mcf_baseline", |b| {
+        b.iter(|| {
+            Machine::new(black_box(&w.program), MachineConfig::full_width())
+                .run()
+                .unwrap()
+        })
+    });
+
+    let profile = Interpreter::new(&w.program).run().unwrap().profile;
+    let mut p = w.program.clone();
+    let main = p.main();
+    dswp_loop(&mut p, main, w.header, &profile, &DswpOptions::default()).unwrap();
+    c.bench_function("timing_sim_mcf_dswp", |b| {
+        b.iter(|| {
+            Machine::new(black_box(&p), MachineConfig::full_width())
+                .run()
+                .unwrap()
+        })
+    });
+
+    c.bench_function("functional_exec_mcf_dswp", |b| {
+        b.iter(|| dswp_sim::Executor::new(black_box(&p)).run().unwrap())
+    });
+
+    c.bench_function("interpreter_mcf_baseline", |b| {
+        b.iter(|| Interpreter::new(black_box(&w.program)).run().unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_passes, bench_simulator
+}
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+//! Prints the Section 5 case studies (epicdec, adpcmdec, 179.art, 164.gzip)
+//! and the Section 4.2 false-sharing analysis.
+//! `cargo run --release -p dswp-bench --bin case_studies`
+
+use dswp_bench::figures::print_case_studies;
+use dswp_bench::runner::Experiment;
+
+fn main() {
+    let exp = Experiment::from_env();
+    print_case_studies(&exp);
+}

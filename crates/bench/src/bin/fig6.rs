@@ -1,0 +1,13 @@
+//! Prints Figures 6(a) and 6(b) (speedups and IPC).
+//! `cargo run --release -p dswp-bench --bin fig6`
+
+use dswp_bench::figures::{figure6, print_fig6a, print_fig6b};
+use dswp_bench::runner::Experiment;
+
+fn main() {
+    let exp = Experiment::from_env();
+    let runs = figure6(&exp);
+    print_fig6a(&runs);
+    println!();
+    print_fig6b(&runs);
+}

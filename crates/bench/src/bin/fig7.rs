@@ -1,0 +1,10 @@
+//! Prints Figure 7 (the 181.mcf partition-balance study).
+//! `cargo run --release -p dswp-bench --bin fig7`
+
+use dswp_bench::figures::{figure7, print_fig7};
+use dswp_bench::runner::Experiment;
+
+fn main() {
+    let exp = Experiment::from_env();
+    print_fig7(&figure7(&exp));
+}

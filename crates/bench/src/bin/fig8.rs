@@ -1,0 +1,12 @@
+//! Prints Figure 8 (queue-occupancy cycle distribution).
+//! `cargo run --release -p dswp-bench --bin fig8`
+
+use dswp_bench::figures::{figure6, print_fig8};
+use dswp_bench::runner::Experiment;
+
+fn main() {
+    let mut exp = Experiment::from_env();
+    exp.search_cap = 0; // occupancy needs no best-partition search
+    let runs = figure6(&exp);
+    print_fig8(&runs);
+}

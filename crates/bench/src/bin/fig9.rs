@@ -1,0 +1,12 @@
+//! Prints Figures 9(a) and 9(b) (issue-width and latency sensitivity).
+//! `cargo run --release -p dswp-bench --bin fig9`
+
+use dswp_bench::figures::{figure9a, figure9b, print_fig9a, print_fig9b};
+use dswp_bench::runner::Experiment;
+
+fn main() {
+    let exp = Experiment::from_env();
+    print_fig9a(&figure9a(&exp));
+    println!();
+    print_fig9b(&figure9b(&exp));
+}

@@ -1,0 +1,10 @@
+//! Prints the ILP-preparation ablation (unroll x2 + list scheduling).
+//! `cargo run --release -p dswp-bench --bin ilp_study`
+
+use dswp_bench::figures::{ilp_study, print_ilp_study};
+use dswp_bench::runner::Experiment;
+
+fn main() {
+    let exp = Experiment::from_env();
+    print_ilp_study(&ilp_study(&exp));
+}

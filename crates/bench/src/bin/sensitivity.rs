@@ -1,0 +1,12 @@
+//! Prints the Section 4.4 queue-size sweep and the Figure 1 DOACROSS
+//! contrast. `cargo run --release -p dswp-bench --bin sensitivity`
+
+use dswp_bench::figures::{figure1_contrast, print_figure1, print_queue_size, queue_size_sweep};
+use dswp_bench::runner::Experiment;
+
+fn main() {
+    let exp = Experiment::from_env();
+    print_queue_size(&queue_size_sweep(&exp));
+    println!();
+    print_figure1(&figure1_contrast(&exp));
+}

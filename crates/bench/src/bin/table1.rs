@@ -1,0 +1,10 @@
+//! Prints the paper's Table 1 (selected-loop statistics).
+//! `cargo run --release -p dswp-bench --bin table1`
+
+use dswp_bench::figures::{print_table1, table1};
+use dswp_bench::runner::Experiment;
+
+fn main() {
+    let exp = Experiment::from_env();
+    print_table1(&table1(&exp));
+}

@@ -1,0 +1,24 @@
+//! Benchmark harness for the DSWP reproduction.
+//!
+//! Regenerates every table and figure of the MICRO 2005 paper's evaluation:
+//!
+//! | Experiment | Generator |
+//! |---|---|
+//! | Table 1 (loop statistics) | [`figures::table1`] |
+//! | Figure 6(a)/(b) (speedups, IPC) | [`figures::figure6`] |
+//! | Figure 7 (mcf balance study) | [`figures::figure7`] |
+//! | Figure 8 (occupancy distribution) | [`figures::print_fig8`] |
+//! | Figure 9(a)/(b) (width / latency) | [`figures::figure9a`], [`figures::figure9b`] |
+//! | Section 4.4 (queue sizes) | [`figures::queue_size_sweep`] |
+//! | Figure 1 (DOACROSS contrast) | [`figures::figure1_contrast`] |
+//! | Section 5 case studies + 4.2 sharing | [`figures::print_case_studies`] |
+//!
+//! Run everything with `cargo bench -p dswp-bench --bench paper_results`
+//! (`DSWP_BENCH_SIZE=test` for a quick smoke run), or individual figures
+//! with the `fig*` binaries in `src/bin/`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod figures;
+pub mod runner;

@@ -1,0 +1,172 @@
+//! CFG cleanup: straight-line block merging (jump threading).
+//!
+//! After unrolling, replicas are chained through unconditional jumps; the
+//! in-order core breaks its issue group at every control transfer, so those
+//! jumps cost real cycles and wall off the list scheduler. This pass folds
+//! `A: ...; jump B` into `A: ...; <B's body>` whenever `A` is `B`'s only
+//! predecessor, repeatedly, leaving maximal basic blocks.
+
+use std::collections::BTreeMap;
+
+use dswp_ir::{BlockId, FuncId, Function, Op, Program};
+
+/// Statistics from a merge run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MergeStats {
+    /// Number of `jump`-connected block pairs folded.
+    pub merges: usize,
+}
+
+/// Merges straight-line block chains in every function of `program`.
+pub fn merge_blocks_program(program: &mut Program) -> MergeStats {
+    let mut stats = MergeStats::default();
+    for fi in 0..program.functions().len() {
+        stats.merges += merge_blocks(program.function_mut(FuncId::from_index(fi))).merges;
+    }
+    stats
+}
+
+/// Merges straight-line block chains in `f`.
+///
+/// Blocks absorbed into their predecessor are left in place but become
+/// unreachable (block ids are stable; the verifier does not require
+/// reachability). Their instruction lists are replaced by a lone
+/// terminator jumping to the absorbing block, so the function still
+/// verifies.
+pub fn merge_blocks(f: &mut Function) -> MergeStats {
+    let mut stats = MergeStats::default();
+    loop {
+        // Count predecessors.
+        let mut pred_count: BTreeMap<BlockId, usize> = BTreeMap::new();
+        for b in f.block_ids() {
+            for s in f.successors(b) {
+                *pred_count.entry(s).or_insert(0) += 1;
+            }
+        }
+        // Find a mergeable pair: A ends in `jump B`, B has exactly one
+        // predecessor and is not the entry.
+        let mut pair: Option<(BlockId, BlockId)> = None;
+        for a in f.block_ids() {
+            if let Op::Jump { target } = f.terminator(a) {
+                let b = *target;
+                if b != a && b != f.entry() && pred_count.get(&b) == Some(&1) {
+                    pair = Some((a, b));
+                    break;
+                }
+            }
+        }
+        let Some((a, b)) = pair else { break };
+
+        // Move B's instructions into A, dropping A's jump.
+        let mut a_instrs = f.block(a).instrs().to_vec();
+        a_instrs.pop(); // the jump
+        let b_instrs = f.block(b).instrs().to_vec();
+        a_instrs.extend(&b_instrs);
+        f.set_block_instrs(a, a_instrs);
+        // Leave a valid, unreachable husk behind (a `halt` has no
+        // successors, so it cannot create phantom CFG edges).
+        let husk = f.add_instr(Op::Halt);
+        f.set_block_instrs(b, vec![husk]);
+        stats.merges += 1;
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dswp_ir::interp::Interpreter;
+    use dswp_ir::verify::verify_program;
+    use dswp_ir::ProgramBuilder;
+
+    #[test]
+    fn merges_a_jump_chain() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let e = f.entry_block();
+        let b1 = f.block("b1");
+        let b2 = f.block("b2");
+        let (x, base) = (f.reg(), f.reg());
+        f.switch_to(e);
+        f.iconst(x, 1);
+        f.jump(b1);
+        f.switch_to(b1);
+        f.add(x, x, 2);
+        f.jump(b2);
+        f.switch_to(b2);
+        f.iconst(base, 0);
+        f.store(x, base, 0);
+        f.halt();
+        let main = f.finish();
+        let mut p = pb.finish(main, 1);
+
+        let before = Interpreter::new(&p).run().unwrap();
+        let stats = merge_blocks_program(&mut p);
+        assert_eq!(stats.merges, 2);
+        verify_program(&p).unwrap();
+        let after = Interpreter::new(&p).run().unwrap();
+        assert_eq!(before.memory, after.memory);
+        // Everything now lives in the entry block.
+        let f = p.function(main);
+        assert_eq!(f.block(f.entry()).instrs().len(), 5);
+    }
+
+    #[test]
+    fn does_not_merge_join_points() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let e = f.entry_block();
+        let t = f.block("t");
+        let u = f.block("u");
+        let join = f.block("join");
+        let c = f.reg();
+        f.switch_to(e);
+        f.iconst(c, 1);
+        f.br(c, t, u);
+        f.switch_to(t);
+        f.jump(join);
+        f.switch_to(u);
+        f.jump(join);
+        f.switch_to(join);
+        f.halt();
+        let main = f.finish();
+        let mut p = pb.finish(main, 0);
+        let stats = merge_blocks_program(&mut p);
+        // join has two predecessors: nothing to merge.
+        assert_eq!(stats.merges, 0);
+        verify_program(&p).unwrap();
+    }
+
+    #[test]
+    fn loop_back_edges_are_preserved() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let e = f.entry_block();
+        let h = f.block("h");
+        let body = f.block("body");
+        let exit = f.block("exit");
+        let (i, n, done, base) = (f.reg(), f.reg(), f.reg(), f.reg());
+        f.switch_to(e);
+        f.iconst(i, 0);
+        f.iconst(n, 5);
+        f.iconst(base, 0);
+        f.jump(h);
+        f.switch_to(h);
+        f.cmp_ge(done, i, n);
+        f.br(done, exit, body);
+        f.switch_to(body);
+        f.add(i, i, 1);
+        f.jump(h); // back edge: h has 2 preds, must not merge
+        f.switch_to(exit);
+        f.store(i, base, 0);
+        f.halt();
+        let main = f.finish();
+        let mut p = pb.finish(main, 1);
+        let before = Interpreter::new(&p).run().unwrap();
+        merge_blocks_program(&mut p);
+        verify_program(&p).unwrap();
+        let after = Interpreter::new(&p).run().unwrap();
+        assert_eq!(before.memory, after.memory);
+        assert_eq!(after.memory[0], 5);
+    }
+}

@@ -1,0 +1,403 @@
+//! Thread partitioning of the `DAG_SCC` — step 2 of the DSWP algorithm.
+//!
+//! Implements
+//!
+//! * [`Partitioning`] with the validity conditions of **Definition 1**
+//!   (Section 2.2.2 of the paper): at most `t` threads, every SCC in exactly
+//!   one partition, and every `DAG_SCC` arc flowing forward;
+//! * the **TPP load-balance heuristic**: repeatedly pick, among SCCs whose
+//!   predecessors are all assigned, the one with the largest estimated
+//!   cycles, breaking ties toward candidates that reduce the current
+//!   partition's outgoing dependences; close a partition when it reaches
+//!   `total / threads`;
+//! * the **profitability gate**: reject partitionings whose estimated
+//!   pipeline time (including produce/consume costs) does not beat
+//!   single-threaded execution;
+//! * an exhaustive **two-thread enumerator** over down-sets of the
+//!   `DAG_SCC`, used for the paper's "best manually directed partition"
+//!   bars (Figure 6(a)).
+
+use dswp_analysis::DagScc;
+
+use crate::error::DswpError;
+use crate::estimate::SccCosts;
+
+/// An assignment of every `DAG_SCC` component to a pipeline stage (thread).
+///
+/// Stage 0 is the main thread (the paper's `P1`); stages must respect
+/// Definition 1, checked by [`Partitioning::validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partitioning {
+    /// `assignment[scc_index] = thread`.
+    pub assignment: Vec<usize>,
+    /// Number of threads (= number of pipeline stages).
+    pub num_threads: usize,
+}
+
+impl Partitioning {
+    /// Builds a partitioning from per-SCC thread indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment` mentions a thread ≥ `num_threads`.
+    pub fn new(assignment: Vec<usize>, num_threads: usize) -> Self {
+        assert!(
+            assignment.iter().all(|&t| t < num_threads),
+            "assignment mentions an out-of-range thread"
+        );
+        Partitioning {
+            assignment,
+            num_threads,
+        }
+    }
+
+    /// The single-threaded (identity) partitioning.
+    pub fn single(num_sccs: usize) -> Self {
+        Partitioning {
+            assignment: vec![0; num_sccs],
+            num_threads: 1,
+        }
+    }
+
+    /// SCC indices assigned to `thread`.
+    pub fn sccs_of(&self, thread: usize) -> Vec<usize> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|&(_, &t)| t == thread)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Checks Definition 1 against `dag` for a machine with
+    /// `available_threads` hardware contexts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DswpError::TooManyThreads`] or
+    /// [`DswpError::InvalidPartition`] on violation.
+    pub fn validate(&self, dag: &DagScc, available_threads: usize) -> Result<(), DswpError> {
+        if self.num_threads > available_threads {
+            return Err(DswpError::TooManyThreads {
+                requested: self.num_threads,
+                available: available_threads,
+            });
+        }
+        if self.assignment.len() != dag.len() {
+            return Err(DswpError::InvalidPartition(format!(
+                "assignment covers {} SCCs, DAG has {}",
+                self.assignment.len(),
+                dag.len()
+            )));
+        }
+        for t in 0..self.num_threads {
+            if !self.assignment.contains(&t) {
+                return Err(DswpError::InvalidPartition(format!("thread {t} is empty")));
+            }
+        }
+        for &(a, b) in &dag.arcs {
+            if self.assignment[a] > self.assignment[b] {
+                return Err(DswpError::InvalidPartition(format!(
+                    "arc {a} → {b} flows backward (thread {} → {})",
+                    self.assignment[a], self.assignment[b]
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Options for the TPP heuristic.
+#[derive(Clone, Copy, Debug)]
+pub struct TppOptions {
+    /// Maximum number of threads the target can execute simultaneously
+    /// (the paper evaluates 2).
+    pub max_threads: usize,
+    /// Minimum estimated speedup for a partitioning to be considered
+    /// profitable.
+    pub min_speedup: f64,
+}
+
+impl Default for TppOptions {
+    fn default() -> Self {
+        TppOptions {
+            max_threads: 2,
+            min_speedup: 1.01,
+        }
+    }
+}
+
+/// The TPP load-balance heuristic of Section 2.2.2.
+///
+/// Returns a partitioning into up to `opts.max_threads` stages. The caller
+/// applies the profitability gate (the heuristic itself only balances).
+/// Returns a single-stage partitioning when the DAG cannot be split (e.g. a
+/// single SCC).
+pub fn tpp_heuristic(dag: &DagScc, costs: &SccCosts, opts: &TppOptions) -> Partitioning {
+    let n = dag.len();
+    if n == 0 {
+        return Partitioning::single(0);
+    }
+    if n == 1 || opts.max_threads < 2 {
+        return Partitioning::single(n);
+    }
+
+    let target = costs.total / opts.max_threads as f64;
+    let mut assignment = vec![usize::MAX; n];
+    let mut unassigned = n;
+    let mut pred_count: Vec<usize> = (0..n).map(|c| dag.preds(c).count()).collect();
+    let mut candidates: Vec<usize> = (0..n).filter(|&c| pred_count[c] == 0).collect();
+
+    let mut thread = 0usize;
+    let mut current_cycles = 0.0f64;
+
+    while unassigned > 0 {
+        // Pick the candidate with the largest estimated cycles; break ties
+        // toward the candidate that most reduces the current partition's
+        // outgoing dependence count.
+        let &best = candidates
+            .iter()
+            .max_by(|&&a, &&b| {
+                let ca = costs.cycles[a];
+                let cb = costs.cycles[b];
+                ca.partial_cmp(&cb)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| {
+                        // Lower outgoing-delta is better, so compare reversed.
+                        outgoing_delta(dag, &assignment, thread, b)
+                            .cmp(&outgoing_delta(dag, &assignment, thread, a))
+                    })
+            })
+            .expect("DAG with unassigned nodes has a candidate");
+
+        // "When the total estimated cycles assigned to the current
+        // partition gets close to the overall estimated cycles divided by
+        // the desired number of threads, the algorithm finishes partition
+        // P_i" — close *before* adding when adding would overshoot the
+        // target by more than stopping undershoots it.
+        let can_close = thread + 1 < opts.max_threads && current_cycles > 0.0;
+        if can_close {
+            let if_added = current_cycles + costs.cycles[best];
+            let overshoot = if_added - target;
+            let undershoot = target - current_cycles;
+            if overshoot > 0.0 && overshoot > undershoot {
+                thread += 1;
+                current_cycles = 0.0;
+            }
+        }
+
+        assignment[best] = thread;
+        current_cycles += costs.cycles[best];
+        unassigned -= 1;
+        candidates.retain(|&c| c != best);
+        for s in dag.succs(best) {
+            pred_count[s] -= 1;
+            if pred_count[s] == 0 {
+                candidates.push(s);
+            }
+        }
+
+        // Close on reaching the share exactly, too.
+        if thread + 1 < opts.max_threads && current_cycles >= target && unassigned > 0 {
+            thread += 1;
+            current_cycles = 0.0;
+        }
+    }
+
+    let num_threads = thread + 1;
+    Partitioning::new(assignment, num_threads)
+}
+
+/// Change in the number of arcs leaving the current partition if `cand` is
+/// added to `thread`: new outgoing arcs from `cand`, minus arcs from the
+/// current partition into `cand` that stop being outgoing.
+fn outgoing_delta(dag: &DagScc, assignment: &[usize], thread: usize, cand: usize) -> i64 {
+    let out = dag.succs(cand).count() as i64;
+    let resolved = dag
+        .preds(cand)
+        .filter(|&p| assignment[p] == thread)
+        .count() as i64;
+    out - resolved
+}
+
+/// Enumerates all valid two-thread partitionings (non-trivial down-sets of
+/// the `DAG_SCC`), up to `cap` results.
+///
+/// This is the mechanized version of the paper's iterative "best manually
+/// directed" search (Figure 6(a)): a valid 2-partitioning is exactly a
+/// topological cut, i.e. `P1` is a down-set.
+pub fn enumerate_two_thread(dag: &DagScc, cap: usize) -> Vec<Partitioning> {
+    let n = dag.len();
+    let mut out = Vec::new();
+    if n < 2 {
+        return out;
+    }
+    // DFS over components in topological order: at step i decide whether
+    // component i joins the down-set; allowed only if all its predecessors
+    // did. Components are already topologically ordered in `DagScc`.
+    let mut in_set = vec![false; n];
+    fn rec(
+        dag: &DagScc,
+        i: usize,
+        in_set: &mut Vec<bool>,
+        out: &mut Vec<Partitioning>,
+        cap: usize,
+    ) {
+        if out.len() >= cap {
+            return;
+        }
+        if i == dag.len() {
+            let count = in_set.iter().filter(|&&b| b).count();
+            if count > 0 && count < dag.len() {
+                let assignment = in_set.iter().map(|&b| usize::from(!b)).collect();
+                out.push(Partitioning::new(assignment, 2));
+            }
+            return;
+        }
+        // Exclude i.
+        rec(dag, i + 1, in_set, out, cap);
+        // Include i if permitted.
+        if dag.preds(i).all(|p| in_set[p]) {
+            in_set[i] = true;
+            rec(dag, i + 1, in_set, out, cap);
+            in_set[i] = false;
+        }
+    }
+    rec(dag, 0, &mut in_set, &mut out, cap);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dswp_analysis::Graph;
+
+    fn chain_dag(costs: &[f64]) -> (DagScc, SccCosts) {
+        let n = costs.len();
+        let mut g = Graph::new(n);
+        for i in 0..n - 1 {
+            g.add_edge(i, i + 1);
+        }
+        let dag = DagScc::compute(&g);
+        let total = costs.iter().sum();
+        (
+            dag,
+            SccCosts {
+                cycles: costs.to_vec(),
+                total,
+            },
+        )
+    }
+
+    #[test]
+    fn heuristic_balances_a_chain() {
+        let (dag, costs) = chain_dag(&[10.0, 10.0, 10.0, 10.0]);
+        let p = tpp_heuristic(&dag, &costs, &TppOptions::default());
+        assert_eq!(p.num_threads, 2);
+        assert_eq!(p.assignment, vec![0, 0, 1, 1]);
+        p.validate(&dag, 2).unwrap();
+    }
+
+    #[test]
+    fn heuristic_handles_single_scc() {
+        let (dag, costs) = chain_dag(&[100.0]);
+        let p = tpp_heuristic(&dag, &costs, &TppOptions::default());
+        assert_eq!(p.num_threads, 1);
+    }
+
+    #[test]
+    fn heuristic_respects_heavy_head() {
+        // One huge SCC followed by small ones: the huge one alone fills
+        // stage 0.
+        let (dag, costs) = chain_dag(&[100.0, 5.0, 5.0, 5.0]);
+        let p = tpp_heuristic(&dag, &costs, &TppOptions::default());
+        assert_eq!(p.assignment[0], 0);
+        assert_eq!(&p.assignment[1..], &[1, 1, 1]);
+    }
+
+    #[test]
+    fn validate_rejects_backward_arcs() {
+        let (dag, _) = chain_dag(&[1.0, 1.0]);
+        let bad = Partitioning::new(vec![1, 0], 2);
+        let err = bad.validate(&dag, 2).unwrap_err();
+        assert!(matches!(err, DswpError::InvalidPartition(_)));
+    }
+
+    #[test]
+    fn validate_rejects_empty_thread_and_too_many_threads() {
+        let (dag, _) = chain_dag(&[1.0, 1.0]);
+        let p = Partitioning::new(vec![0, 0], 1);
+        p.validate(&dag, 2).unwrap();
+        let empty = Partitioning {
+            assignment: vec![0, 0],
+            num_threads: 2,
+        };
+        assert!(matches!(
+            empty.validate(&dag, 2),
+            Err(DswpError::InvalidPartition(_))
+        ));
+        let wide = Partitioning::new(vec![0, 1], 2);
+        assert!(matches!(
+            wide.validate(&dag, 1),
+            Err(DswpError::TooManyThreads { .. })
+        ));
+    }
+
+    #[test]
+    fn enumerator_finds_all_chain_cuts() {
+        let (dag, _) = chain_dag(&[1.0, 1.0, 1.0, 1.0]);
+        let all = enumerate_two_thread(&dag, 1000);
+        // A 4-chain has exactly 3 non-trivial cuts.
+        assert_eq!(all.len(), 3);
+        for p in &all {
+            p.validate(&dag, 2).unwrap();
+        }
+    }
+
+    #[test]
+    fn enumerator_counts_diamond_downsets() {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3: down-sets are {}, {0}, {0,1},
+        // {0,2}, {0,1,2}, {0,1,2,3} → 4 non-trivial.
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 3);
+        let dag = DagScc::compute(&g);
+        let all = enumerate_two_thread(&dag, 1000);
+        assert_eq!(all.len(), 4);
+        for p in &all {
+            p.validate(&dag, 2).unwrap();
+        }
+    }
+
+    #[test]
+    fn enumerator_honors_cap() {
+        let (dag, _) = chain_dag(&[1.0; 12]);
+        let all = enumerate_two_thread(&dag, 5);
+        assert_eq!(all.len(), 5);
+    }
+
+    #[test]
+    fn tie_break_prefers_fewer_outgoing_deps() {
+        // 0 and 1 are both sources with equal cost; 0 has two successors,
+        // 1 has none. The tie-break should pick 1 first (delta 0 vs 2).
+        let mut g = Graph::new(4);
+        g.add_edge(0, 2);
+        g.add_edge(0, 3);
+        let dag = DagScc::compute(&g);
+        // Equal costs everywhere.
+        let costs = SccCosts {
+            cycles: vec![1.0; 4],
+            total: 4.0,
+        };
+        let p = tpp_heuristic(&dag, &costs, &TppOptions::default());
+        p.validate(&dag, 2).unwrap();
+        // The first two picks fill thread 0 (target = 2.0); the childless
+        // SCC must be among them.
+        let childless = (0..4)
+            .find(|&c| dag.succs(c).count() == 0 && dag.preds(c).count() == 0)
+            .unwrap();
+        assert_eq!(p.assignment[childless], 0);
+    }
+}

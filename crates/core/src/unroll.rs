@@ -1,0 +1,542 @@
+//! Generic loop unrolling.
+//!
+//! The paper's epicdec and art case studies (Sections 5.1, 5.3) apply
+//! IMPACT's unroller before DSWP: replicating the body multiplies the
+//! off-recurrence work per iteration, improving pipeline balance and — with
+//! precise memory analysis — multiplying the number of partitionable SCCs.
+//!
+//! This is *test-preserving* unrolling: every replica keeps the loop's exit
+//! tests, so it is correct for any trip count (no prologue/epilogue or
+//! counted-loop assumption needed). The body blocks are cloned `factor`
+//! times; each replica's back edges jump to the next replica's header, and
+//! the last replica's back edges return to the first. Registers need no
+//! renaming — replicas execute sequentially on one thread.
+
+use std::collections::BTreeMap;
+
+use dswp_ir::{BlockId, FuncId, Function, Program};
+
+use dswp_analysis::{find_loops, NaturalLoop};
+
+use crate::error::DswpError;
+
+/// Unrolls the loop with `header` in `func` by `factor` (≥ 2), in place.
+///
+/// Returns the header of the unrolled loop (unchanged: the original blocks
+/// serve as replica 0).
+///
+/// # Errors
+///
+/// Returns [`DswpError::NoCandidateLoop`] if no natural loop with that
+/// header exists.
+///
+/// # Panics
+///
+/// Panics if `factor < 2`.
+pub fn unroll_loop(
+    program: &mut Program,
+    func: FuncId,
+    header: BlockId,
+    factor: usize,
+) -> Result<BlockId, DswpError> {
+    assert!(factor >= 2, "unroll factor must be at least 2");
+    let l = find_loops(program.function(func))
+        .into_iter()
+        .find(|l| l.header == header)
+        .ok_or(DswpError::NoCandidateLoop)?;
+
+    let f = program.function_mut(func);
+    let src = f.clone();
+
+    // Create factor-1 replicas of every loop block.
+    // copies[k][&b] = block of replica k+1 corresponding to b.
+    let mut copies: Vec<BTreeMap<BlockId, BlockId>> = Vec::with_capacity(factor - 1);
+    for k in 1..factor {
+        let mut map = BTreeMap::new();
+        for &b in &l.blocks {
+            let nb = f.add_block(format!("u{k}.{}", src.block(b).name));
+            map.insert(b, nb);
+        }
+        copies.push(map);
+    }
+
+    // Fill the replicas: body instructions are cloned; terminators are
+    // remapped within the replica, except back edges, which advance to the
+    // next replica (wrapping to the original blocks).
+    for (k, map) in copies.iter().enumerate() {
+        let next: Option<&BTreeMap<BlockId, BlockId>> = copies.get(k + 1);
+        for &b in &l.blocks {
+            let nb = map[&b];
+            for &i in src.block(b).instrs() {
+                let mut op = src.op(i).clone();
+                if op.is_terminator() {
+                    op.map_successors(|s| {
+                        if s == l.header {
+                            // Back edge: wrap to replica k+2 or to replica 0.
+                            match next {
+                                Some(n) => n[&l.header],
+                                None => l.header,
+                            }
+                        } else if let Some(&c) = map.get(&s) {
+                            c // stay within this replica
+                        } else {
+                            s // exit edge: leave the loop
+                        }
+                    });
+                }
+                f.append_op(nb, op);
+            }
+        }
+    }
+
+    // Redirect replica 0's back edges into replica 1.
+    let first = &copies[0];
+    for &b in &l.blocks {
+        let term = *f.block(b).instrs().last().expect("terminator");
+        f.op_mut(term).map_successors(|s| {
+            if s == l.header && l.latches.contains(&b) {
+                first[&l.header]
+            } else {
+                s
+            }
+        });
+    }
+    Ok(header)
+}
+
+/// Unrolls a **counted** loop by `factor`, eliding the intermediate exit
+/// tests (classic unrolling with a remainder loop) — the form that exposes
+/// cross-iteration ILP to the list scheduler, as IMPACT's unroller does for
+/// the paper's baselines.
+///
+/// The loop must match the canonical counted shape
+///
+/// ```text
+/// header:  done = (i >= n)        // n loop-invariant (register or imm)
+///          br done, exit, body
+/// body...: ...                    // no exits other than the header's
+///          i = add i, C           // the only definition of i, C > 0
+/// latch:   jump header
+/// ```
+///
+/// A fast loop runs `factor` back-to-back test-free iterations while
+/// `i + C·(factor−1) < n`; the original loop remains as the remainder.
+///
+/// # Errors
+///
+/// [`DswpError::NoCandidateLoop`] if no loop with that header exists;
+/// [`DswpError::IneligibleForDoacross`] is *not* used here — shape
+/// violations return [`DswpError::InvalidPartition`] with a description.
+///
+/// # Panics
+///
+/// Panics if `factor < 2`.
+pub fn unroll_counted(
+    program: &mut Program,
+    func: FuncId,
+    header: BlockId,
+    factor: usize,
+) -> Result<(), DswpError> {
+    use dswp_ir::{Op, Operand};
+
+    assert!(factor >= 2, "unroll factor must be at least 2");
+    let l = find_loops(program.function(func))
+        .into_iter()
+        .find(|l| l.header == header)
+        .ok_or(DswpError::NoCandidateLoop)?;
+    let shape_err = |m: &str| DswpError::InvalidPartition(format!("counted unroll: {m}"));
+
+    let src = program.function(func).clone();
+
+    // ---- shape checks ----
+    let h_instrs = src.block(header).instrs();
+    if h_instrs.len() != 2 {
+        return Err(shape_err("header must contain exactly the test and branch"));
+    }
+    let (i_reg, n_op, done_reg) = match src.op(h_instrs[0]) {
+        Op::Cmp {
+            dst,
+            op: dswp_ir::CmpOp::Ge,
+            lhs: Operand::Reg(i),
+            rhs,
+        } => (*i, *rhs, *dst),
+        _ => return Err(shape_err("header test must be `done = (i >= n)`")),
+    };
+    let body_entry = match src.op(h_instrs[1]) {
+        Op::Br { cond, then_, else_ } if *cond == done_reg && !l.contains(*then_) => {
+            if !l.contains(*else_) {
+                return Err(shape_err("branch must continue into the loop"));
+            }
+            *else_
+        }
+        _ => return Err(shape_err("header branch must exit on the test")),
+    };
+    if l.exit_edges.iter().any(|&(from, _)| from != header) {
+        return Err(shape_err("body must have no exits of its own"));
+    }
+    // The only definition of i is `i = add i, C`, C > 0; n and done are not
+    // otherwise defined in the loop.
+    let mut stride: Option<i64> = None;
+    for &b in &l.blocks {
+        for &ins in src.block(b).instrs() {
+            let op = src.op(ins);
+            if op.def() == Some(i_reg) {
+                match op {
+                    Op::Binary {
+                        op: dswp_ir::BinOp::Add,
+                        lhs: Operand::Reg(x),
+                        rhs: Operand::Imm(c),
+                        ..
+                    } if *x == i_reg && *c > 0 && stride.is_none() => stride = Some(*c),
+                    _ => return Err(shape_err("i must have a single `i = add i, C` definition")),
+                }
+            }
+            if b != header && op.def() == Some(done_reg) {
+                return Err(shape_err("the test register is redefined in the body"));
+            }
+            if let Operand::Reg(n) = n_op {
+                if op.def() == Some(n) {
+                    return Err(shape_err("the bound is redefined in the body"));
+                }
+            }
+        }
+    }
+    let stride = stride.ok_or_else(|| shape_err("no induction increment found"))?;
+
+    // ---- build the fast loop ----
+    let f = program.function_mut(func);
+    let fast_h = f.add_block("unroll.fast_header");
+    let t = f.new_reg();
+    let fd = f.new_reg();
+    {
+        let lead = f.add_instr(Op::Binary {
+            dst: t,
+            op: dswp_ir::BinOp::Add,
+            lhs: Operand::Reg(i_reg),
+            rhs: Operand::Imm(stride * (factor as i64 - 1)),
+        });
+        f.push_instr(fast_h, lead);
+        let cmp = f.add_instr(Op::Cmp {
+            dst: fd,
+            op: dswp_ir::CmpOp::Ge,
+            lhs: Operand::Reg(t),
+            rhs: n_op,
+        });
+        f.push_instr(fast_h, cmp);
+    }
+
+    // Registers that can be privatized per replica: defined in the body,
+    // not live into the body (always written before read) and not live into
+    // the remainder header. Without this renaming, anti/output dependences
+    // on the body's temporaries would serialize the replicas and defeat the
+    // point of eliding the tests.
+    let renameable: Vec<dswp_ir::Reg> = {
+        let liveness = dswp_analysis::Liveness::compute(&src);
+        let live_entry = liveness.live_in(body_entry);
+        let live_header = liveness.live_in(header);
+        let mut defined = std::collections::BTreeSet::new();
+        for &b in &l.blocks {
+            if b == header {
+                continue;
+            }
+            for &ins in src.block(b).instrs() {
+                if let Some(d) = src.op(ins).def() {
+                    defined.insert(d);
+                }
+            }
+        }
+        defined
+            .into_iter()
+            .filter(|r| !live_entry.contains(r) && !live_header.contains(r))
+            .collect()
+    };
+
+    // Replicas of the body (all loop blocks except the header).
+    let body_blocks: Vec<BlockId> = l.blocks.iter().copied().filter(|&b| b != header).collect();
+    let mut replica_entries = Vec::with_capacity(factor);
+    let mut maps: Vec<BTreeMap<BlockId, BlockId>> = Vec::with_capacity(factor);
+    for k in 0..factor {
+        let mut map = BTreeMap::new();
+        for &b in &body_blocks {
+            let nb = f.add_block(format!("uc{k}.{}", src.block(b).name));
+            map.insert(b, nb);
+        }
+        replica_entries.push(map[&body_entry]);
+        maps.push(map);
+    }
+    for (k, map) in maps.iter().enumerate() {
+        let next_entry = if k + 1 < factor {
+            replica_entries[k + 1]
+        } else {
+            fast_h
+        };
+        // Fresh names for this replica's private temporaries (replica 0
+        // keeps the originals).
+        let rename: BTreeMap<dswp_ir::Reg, dswp_ir::Reg> = if k == 0 {
+            BTreeMap::new()
+        } else {
+            renameable.iter().map(|&r| (r, f.new_reg())).collect()
+        };
+        for &b in &body_blocks {
+            let nb = map[&b];
+            for &ins in src.block(b).instrs() {
+                let mut op = src.op(ins).clone();
+                op.map_regs(|r| rename.get(&r).copied().unwrap_or(r));
+                if op.is_terminator() {
+                    op.map_successors(|s| {
+                        if s == header {
+                            next_entry
+                        } else {
+                            map[&s]
+                        }
+                    });
+                }
+                f.append_op(nb, op);
+            }
+        }
+    }
+    // Fast-header branch: remainder loop when close to the bound.
+    {
+        let br = f.add_instr(Op::Br {
+            cond: fd,
+            then_: header,
+            else_: replica_entries[0],
+        });
+        f.push_instr(fast_h, br);
+    }
+
+    // Retarget outside entries into the fast header.
+    let outside: Vec<BlockId> = f.predecessors()[header.index()]
+        .iter()
+        .copied()
+        .filter(|&p| !l.contains(p) && p != fast_h)
+        .collect();
+    for p in outside {
+        let term = *f.block(p).instrs().last().expect("terminator");
+        f.op_mut(term).map_successors(|s| if s == header { fast_h } else { s });
+    }
+    if f.entry() == header {
+        f.set_entry(fast_h);
+    }
+    Ok(())
+}
+
+/// Convenience used by ablation studies: returns how many times the loop
+/// body now appears (1 for a never-unrolled loop).
+pub fn replica_count(program: &Program, func: FuncId, header: BlockId) -> usize {
+    find_loops(program.function(func))
+        .into_iter()
+        .find(|l| l.header == header)
+        .map(|l| count_headers(program.function(func), &l))
+        .unwrap_or(0)
+}
+
+fn count_headers(f: &Function, l: &NaturalLoop) -> usize {
+    // Replica headers were named "u<k>.<original header name>".
+    let base = &f.block(l.header).name;
+    l.blocks
+        .iter()
+        .filter(|&&b| {
+            let n = &f.block(b).name;
+            n == base || (n.starts_with('u') && n.ends_with(base.as_str()))
+        })
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dswp_ir::interp::Interpreter;
+    use dswp_ir::verify::verify_program;
+    use dswp_ir::{ProgramBuilder, RegionId};
+
+    /// sum of a[0..n] with an if/else in the body (uneven trip counts
+    /// exercise the test-preserving property).
+    fn kernel(n: i64) -> (dswp_ir::Program, BlockId) {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let e = f.entry_block();
+        let header = f.block("header");
+        let body = f.block("body");
+        let odd = f.block("odd");
+        let even = f.block("even");
+        let join = f.block("join");
+        let exit = f.block("exit");
+        let (i, nn, done, a, sum, par, base, addr) = (
+            f.reg(),
+            f.reg(),
+            f.reg(),
+            f.reg(),
+            f.reg(),
+            f.reg(),
+            f.reg(),
+            f.reg(),
+        );
+        f.switch_to(e);
+        f.iconst(i, 0);
+        f.iconst(nn, n);
+        f.iconst(sum, 0);
+        f.iconst(base, 0);
+        f.jump(header);
+        f.switch_to(header);
+        f.cmp_ge(done, i, nn);
+        f.br(done, exit, body);
+        f.switch_to(body);
+        f.add(addr, i, 8);
+        f.load_region(a, addr, 0, RegionId(0));
+        f.and(par, a, 1);
+        f.br(par, odd, even);
+        f.switch_to(odd);
+        f.mul(a, a, 3);
+        f.jump(join);
+        f.switch_to(even);
+        f.add(a, a, 1);
+        f.jump(join);
+        f.switch_to(join);
+        f.add(sum, sum, a);
+        f.add(i, i, 1);
+        f.jump(header);
+        f.switch_to(exit);
+        f.store(sum, base, 0);
+        f.halt();
+        let main = f.finish();
+        let mut mem = vec![0i64; 8 + n.max(1) as usize];
+        for k in 0..n as usize {
+            mem[8 + k] = (k as i64 * 13) % 37;
+        }
+        (pb.finish_with_memory(main, mem), BlockId(1))
+    }
+
+    #[test]
+    fn unrolling_preserves_semantics_at_any_trip_count() {
+        for n in [0i64, 1, 2, 3, 7, 16, 33] {
+            for factor in [2usize, 3, 4] {
+                let (p, header) = kernel(n);
+                let before = Interpreter::new(&p).run().unwrap();
+                let mut u = p.clone();
+                let main = u.main();
+                unroll_loop(&mut u, main, header, factor).unwrap();
+                verify_program(&u).unwrap();
+                let after = Interpreter::new(&u).run().unwrap();
+                assert_eq!(before.memory, after.memory, "n={n} factor={factor}");
+            }
+        }
+    }
+
+    #[test]
+    fn replica_count_reflects_the_factor() {
+        let (mut p, header) = kernel(12);
+        let main = p.main();
+        assert_eq!(replica_count(&p, main, header), 1);
+        unroll_loop(&mut p, main, header, 3).unwrap();
+        assert_eq!(replica_count(&p, main, header), 3);
+    }
+
+    #[test]
+    fn unrolled_loop_still_dswps_correctly() {
+        let (p, header) = kernel(40);
+        let before = Interpreter::new(&p).run().unwrap();
+        let mut u = p.clone();
+        let main = u.main();
+        unroll_loop(&mut u, main, header, 2).unwrap();
+        let profile = Interpreter::new(&u).run().unwrap().profile;
+        let opts = crate::DswpOptions {
+            min_speedup: 0.0,
+            ..crate::DswpOptions::default()
+        };
+        crate::dswp_loop(&mut u, main, header, &profile, &opts).unwrap();
+        verify_program(&u).unwrap();
+        let exec = dswp_sim::Executor::new(&u).run().unwrap();
+        assert_eq!(exec.memory, before.memory);
+    }
+
+    #[test]
+    fn counted_unrolling_preserves_semantics() {
+        for n in [0i64, 1, 2, 3, 7, 16, 33] {
+            for factor in [2usize, 3, 4] {
+                let (p, header) = kernel(n);
+                let before = Interpreter::new(&p).run().unwrap();
+                let mut u = p.clone();
+                let main = u.main();
+                unroll_counted(&mut u, main, header, factor).unwrap();
+                verify_program(&u).unwrap();
+                let after = Interpreter::new(&u).run().unwrap();
+                assert_eq!(before.memory, after.memory, "n={n} factor={factor}");
+                // The fast path actually executes (fewer header tests).
+                if n >= factor as i64 * 2 {
+                    let hdr_weight = after.profile.weight(main, header);
+                    let orig_weight = before.profile.weight(main, header);
+                    assert!(
+                        hdr_weight < orig_weight,
+                        "n={n} factor={factor}: {hdr_weight} !< {orig_weight}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn counted_unrolling_rejects_pointer_chases() {
+        // A while(ptr) loop is not counted: the test is an equality against
+        // zero... build one and check it is rejected.
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let e = f.entry_block();
+        let h = f.block("h");
+        let body = f.block("body");
+        let exit = f.block("exit");
+        let (ptr, done) = (f.reg(), f.reg());
+        f.switch_to(e);
+        f.iconst(ptr, 8);
+        f.jump(h);
+        f.switch_to(h);
+        f.cmp_eq(done, ptr, 0);
+        f.br(done, exit, body);
+        f.switch_to(body);
+        f.load(ptr, ptr, 0);
+        f.jump(h);
+        f.switch_to(exit);
+        f.halt();
+        let main = f.finish();
+        let mut p = pb.finish(main, 16);
+        let err = unroll_counted(&mut p, main, BlockId(1), 2).unwrap_err();
+        assert!(matches!(err, DswpError::InvalidPartition(_)), "{err}");
+    }
+
+    #[test]
+    fn counted_unroll_then_merge_then_schedule_speeds_up_doall() {
+        // The full ILP-preparation pipeline on a DOALL-ish loop.
+        let (p, header) = kernel(64);
+        let base = dswp_sim::Machine::new(&p, dswp_sim::MachineConfig::full_width())
+            .run()
+            .unwrap();
+        let mut u = p.clone();
+        let main = u.main();
+        unroll_counted(&mut u, main, header, 4).unwrap();
+        crate::cleanup::merge_blocks_program(&mut u);
+        crate::schedule::schedule_program(
+            &mut u,
+            &dswp_ir::LatencyTable::default(),
+            dswp_analysis::AliasMode::Region,
+        );
+        verify_program(&u).unwrap();
+        let fast = dswp_sim::Machine::new(&u, dswp_sim::MachineConfig::full_width())
+            .run()
+            .unwrap();
+        assert_eq!(fast.memory, base.memory);
+        assert!(
+            fast.cycles < base.cycles,
+            "ILP prep should win: {} vs {}",
+            fast.cycles,
+            base.cycles
+        );
+    }
+
+    #[test]
+    fn missing_loop_is_reported() {
+        let (mut p, _) = kernel(4);
+        let main = p.main();
+        let err = unroll_loop(&mut p, main, BlockId(0), 2).unwrap_err();
+        assert_eq!(err, DswpError::NoCandidateLoop);
+    }
+}

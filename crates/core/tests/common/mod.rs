@@ -1,0 +1,277 @@
+//! Shared kernels and the DSWP equivalence checker used by the
+//! transformation test suites.
+#![allow(dead_code)] // each test binary uses a different subset
+
+use dswp::{dswp_loop, DswpOptions, DswpReport};
+use dswp_analysis::AliasMode;
+use dswp_ir::interp::Interpreter;
+use dswp_ir::verify::verify_program;
+use dswp_ir::{BlockId, Program, ProgramBuilder, RegionId};
+use dswp_sim::{Executor, Machine, MachineConfig};
+
+/// A test kernel: a program plus the header of its DSWP candidate loop.
+pub struct Kernel {
+    pub program: Program,
+    pub header: BlockId,
+    pub name: &'static str,
+}
+
+/// Runs the single-threaded baseline, applies DSWP with `opts`, verifies
+/// the result structurally, and checks observational equivalence (final
+/// memory) on both the functional executor and the timing model.
+///
+/// Returns the transformed program and the report for further inspection.
+pub fn check_dswp(kernel: &Kernel, opts: &DswpOptions) -> (Program, DswpReport) {
+    let baseline = Interpreter::new(&kernel.program)
+        .run()
+        .unwrap_or_else(|e| panic!("{}: baseline failed: {e}", kernel.name));
+
+    let mut p = kernel.program.clone();
+    let main = p.main();
+    let report = dswp_loop(&mut p, main, kernel.header, &baseline.profile, opts)
+        .unwrap_or_else(|e| panic!("{}: dswp failed: {e}", kernel.name));
+    verify_program(&p).unwrap_or_else(|e| panic!("{}: verify failed: {e}", kernel.name));
+
+    let exec = Executor::new(&p)
+        .run()
+        .unwrap_or_else(|e| panic!("{}: functional run failed: {e}", kernel.name));
+    assert_eq!(
+        exec.memory, baseline.memory,
+        "{}: functional memory mismatch",
+        kernel.name
+    );
+
+    let sim = Machine::new(&p, MachineConfig::full_width())
+        .run()
+        .unwrap_or_else(|e| panic!("{}: timing run failed: {e}", kernel.name));
+    assert_eq!(
+        sim.memory, baseline.memory,
+        "{}: timing-model memory mismatch",
+        kernel.name
+    );
+
+    (p, report)
+}
+
+/// The paper's Figure 2(a): list-of-lists traversal summing all elements.
+pub fn figure2_kernel() -> Kernel {
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.function("main");
+    let bb1 = f.entry_block();
+    let bb2 = f.block("BB2");
+    let bb3 = f.block("BB3");
+    let bb4 = f.block("BB4");
+    let bb5 = f.block("BB5");
+    let bb6 = f.block("BB6");
+    let bb7 = f.block("BB7");
+    let (r1, r2, r3, r4, p1, p2, r6) =
+        (f.reg(), f.reg(), f.reg(), f.reg(), f.reg(), f.reg(), f.reg());
+    f.switch_to(bb1);
+    f.iconst(r1, 1);
+    f.iconst(r4, 0);
+    f.jump(bb2);
+    f.switch_to(bb2);
+    f.cmp_eq(p1, r1, 0);
+    f.br(p1, bb7, bb3);
+    f.switch_to(bb3);
+    f.load_region(r2, r1, 2, RegionId(0));
+    f.jump(bb4);
+    f.switch_to(bb4);
+    f.cmp_eq(p2, r2, 0);
+    f.br(p2, bb6, bb5);
+    f.switch_to(bb5);
+    f.load_region(r3, r2, 3, RegionId(1));
+    f.add(r4, r4, r3);
+    f.load_region(r2, r2, 0, RegionId(1));
+    f.jump(bb4);
+    f.switch_to(bb6);
+    f.load_region(r1, r1, 1, RegionId(0));
+    f.jump(bb2);
+    f.switch_to(bb7);
+    f.iconst(r6, 0);
+    f.store(r4, r6, 0);
+    f.halt();
+    let main = f.finish();
+
+    // Build 8 outer nodes, each with a short inner list.
+    let mut mem = vec![0i64; 512];
+    let mut outer = 1usize;
+    let mut inner_base = 200usize;
+    for o in 0..8 {
+        let next_outer = if o == 7 { 0 } else { outer + 3 };
+        mem[outer + 1] = next_outer as i64;
+        mem[outer + 2] = inner_base as i64;
+        for k in 0..(o % 3) + 1 {
+            let next_inner = if k == o % 3 { 0 } else { inner_base + 4 };
+            mem[inner_base] = next_inner as i64;
+            mem[inner_base + 3] = (o * 10 + k + 1) as i64;
+            inner_base += 4;
+        }
+        outer += 3;
+    }
+    Kernel {
+        program: pb.finish_with_memory(main, mem),
+        header: BlockId(1),
+        name: "figure2",
+    }
+}
+
+/// A linked-list traversal with a multi-instruction body (the paper's
+/// Figure 1 / 181.mcf shape): `while (p = p->next) { work on p }`.
+pub fn list_kernel(nodes: usize) -> Kernel {
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.function("main");
+    let e = f.entry_block();
+    let header = f.block("header");
+    let body = f.block("body");
+    let exit = f.block("exit");
+    let (ptr, sum, v, t, done, base) = (f.reg(), f.reg(), f.reg(), f.reg(), f.reg(), f.reg());
+    f.switch_to(e);
+    f.iconst(ptr, 8);
+    f.iconst(sum, 0);
+    f.iconst(base, 0);
+    f.jump(header);
+    f.switch_to(header);
+    f.cmp_eq(done, ptr, 0);
+    f.br(done, exit, body);
+    f.switch_to(body);
+    // Field-granular regions: `next` (offset 0), `val` (offset 1) and
+    // `out` (offset 2) of a fixed-stride record never overlap — the
+    // field-sensitivity a production memory analysis provides.
+    f.load_region(v, ptr, 1, RegionId(1));
+    f.mul(t, v, 3);
+    f.add(t, t, 7);
+    f.rem(t, t, 1000);
+    f.add(sum, sum, t);
+    f.store_region(t, ptr, 2, RegionId(2));
+    f.load_region(ptr, ptr, 0, RegionId(0));
+    f.jump(header);
+    f.switch_to(exit);
+    f.store(sum, base, 0);
+    f.halt();
+    let main = f.finish();
+
+    let mut mem = vec![0i64; 8 + nodes * 4];
+    let mut addr = 8usize;
+    for i in 0..nodes {
+        let next = if i + 1 == nodes { 0 } else { addr + 4 };
+        mem[addr] = next as i64;
+        mem[addr + 1] = (i as i64) * 17 % 256;
+        addr += 4;
+    }
+    Kernel {
+        program: pb.finish_with_memory(main, mem),
+        header: BlockId(1),
+        name: "list",
+    }
+}
+
+/// A counted loop with a control-flow diamond in the body and a
+/// conditionally updated live-out (exercises conditional control
+/// dependences and the live-in/live-out coupling).
+pub fn diamond_kernel(n: i64) -> Kernel {
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.function("main");
+    let e = f.entry_block();
+    let header = f.block("header");
+    let test = f.block("test");
+    let odd = f.block("odd");
+    let even = f.block("even");
+    let join = f.block("join");
+    let exit = f.block("exit");
+    let (i, nn, done, a, b, sum, last_odd, parity, base) = (
+        f.reg(),
+        f.reg(),
+        f.reg(),
+        f.reg(),
+        f.reg(),
+        f.reg(),
+        f.reg(),
+        f.reg(),
+        f.reg(),
+    );
+    f.switch_to(e);
+    f.iconst(i, 0);
+    f.iconst(nn, n);
+    f.iconst(sum, 0);
+    f.iconst(last_odd, -1);
+    f.iconst(base, 0);
+    f.jump(header);
+    f.switch_to(header);
+    f.cmp_ge(done, i, nn);
+    f.br(done, exit, test);
+    f.switch_to(test);
+    let a_addr = f.reg();
+    f.add(a_addr, i, 16);
+    f.load_region(a, a_addr, 0, RegionId(0));
+    f.and(parity, a, 1);
+    f.br(parity, odd, even);
+    f.switch_to(odd);
+    f.mul(b, a, 3);
+    f.mov(last_odd, i); // conditionally updated live-out
+    f.jump(join);
+    f.switch_to(even);
+    f.add(b, a, 1);
+    f.jump(join);
+    f.switch_to(join);
+    f.add(sum, sum, b);
+    let b_addr = f.reg();
+    f.add(b_addr, i, 600);
+    f.store_region(b, b_addr, 0, RegionId(1));
+    f.add(i, i, 1);
+    f.jump(header);
+    f.switch_to(exit);
+    f.store(sum, base, 0);
+    f.store(last_odd, base, 1);
+    f.halt();
+    let main = f.finish();
+
+    let mut mem = vec![0i64; 1200];
+    for k in 0..n as usize {
+        mem[16 + k] = (k as i64 * 7 + 3) % 97;
+    }
+    Kernel {
+        program: pb.finish_with_memory(main, mem),
+        header: BlockId(1),
+        name: "diamond",
+    }
+}
+
+/// A fully serialized loop: one cross-iteration dependence chain
+/// (the 164.gzip shape, Section 5.4) — DSWP must decline.
+pub fn serial_kernel(n: i64) -> Kernel {
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.function("main");
+    let e = f.entry_block();
+    let header = f.block("header");
+    let exit = f.block("exit");
+    let (x, done, base) = (f.reg(), f.reg(), f.reg());
+    f.switch_to(e);
+    f.iconst(x, 1);
+    f.iconst(base, 0);
+    f.jump(header);
+    f.switch_to(header);
+    // x evolves serially; the exit test depends on x itself.
+    f.mul(x, x, 5);
+    f.add(x, x, 1);
+    f.rem(x, x, 1 << 30);
+    f.cmp_ge(done, x, n);
+    f.br(done, exit, header);
+    f.switch_to(exit);
+    f.store(x, base, 0);
+    f.halt();
+    let main = f.finish();
+    Kernel {
+        program: pb.finish(main, 2),
+        header: BlockId(1),
+        name: "serial",
+    }
+}
+
+/// Default options with region-precision alias analysis.
+pub fn default_opts() -> DswpOptions {
+    DswpOptions {
+        alias: AliasMode::Region,
+        ..DswpOptions::default()
+    }
+}

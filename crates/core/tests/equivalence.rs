@@ -1,0 +1,242 @@
+//! Observational-equivalence tests for the DSWP transformation: the
+//! transformed multi-threaded program must compute exactly the memory image
+//! of the original single-threaded program, on both the functional executor
+//! and the cycle-level timing model.
+
+mod common;
+
+use common::*;
+use dswp::{dswp_loop, enumerate_two_thread, DswpError, DswpOptions, Partitioning};
+use dswp_analysis::{build_pdg, find_loops, AliasMode, DagScc, Liveness, PdgOptions};
+use dswp_ir::interp::Interpreter;
+use dswp_ir::verify::verify_program;
+use dswp_sim::{Executor, Machine, MachineConfig};
+
+#[test]
+fn figure2_roundtrips_with_heuristic_partition() {
+    let kernel = figure2_kernel();
+    let (p, report) = check_dswp(&kernel, &default_opts());
+    assert_eq!(report.partitioning.num_threads, 2);
+    // The paper's Figure 2(c) shows five SCCs over the *labeled*
+    // instructions A–K; our IR additionally carries three explicit `jump`
+    // instructions (end of BB3/BB5/BB6), each a singleton SCC.
+    assert_eq!(report.num_sccs, 8);
+    assert!(report.artifacts.flows.loop_flows > 0);
+    assert!(report.artifacts.flows.final_flows >= 1, "sum is a live-out");
+    assert_eq!(p.num_threads(), 2);
+}
+
+#[test]
+fn list_kernel_roundtrips() {
+    let kernel = list_kernel(64);
+    let (_, report) = check_dswp(&kernel, &default_opts());
+    assert_eq!(report.partitioning.num_threads, 2);
+}
+
+#[test]
+fn diamond_kernel_roundtrips() {
+    let kernel = diamond_kernel(50);
+    check_dswp(&kernel, &default_opts());
+}
+
+#[test]
+fn serial_loop_is_rejected_as_single_scc() {
+    let kernel = serial_kernel(1_000_000);
+    let baseline = Interpreter::new(&kernel.program).run().unwrap();
+    let mut p = kernel.program.clone();
+    let main = p.main();
+    let err = dswp_loop(&mut p, main, kernel.header, &baseline.profile, &default_opts())
+        .unwrap_err();
+    assert_eq!(err, DswpError::SingleScc);
+}
+
+/// The strongest transformation test: *every* valid two-thread partitioning
+/// of the Figure 2 loop must produce an equivalent program.
+#[test]
+fn every_valid_partitioning_of_figure2_is_equivalent() {
+    let kernel = figure2_kernel();
+    let baseline = Interpreter::new(&kernel.program).run().unwrap();
+
+    // Recompute the DAG the way the driver does, to enumerate partitions.
+    let mut scratch = kernel.program.clone();
+    let main = scratch.main();
+    let l = find_loops(scratch.function(main))
+        .into_iter()
+        .find(|l| l.header == kernel.header)
+        .unwrap();
+    dswp::normalize_loop(scratch.function_mut(main), &l).unwrap();
+    let l = find_loops(scratch.function(main))
+        .into_iter()
+        .find(|l| l.header == kernel.header)
+        .unwrap();
+    let liveness = Liveness::compute(scratch.function(main));
+    let pdg = build_pdg(
+        scratch.function(main),
+        &l,
+        &liveness,
+        &PdgOptions {
+            alias: AliasMode::Region,
+        },
+    );
+    let dag = DagScc::compute(&pdg.instr_graph());
+    let partitions = enumerate_two_thread(&dag, 256);
+    assert!(
+        partitions.len() >= 3,
+        "expected several cuts, got {}",
+        partitions.len()
+    );
+
+    for (k, part) in partitions.iter().enumerate() {
+        let mut p = kernel.program.clone();
+        let opts = DswpOptions {
+            partitioning: Some(part.clone()),
+            ..default_opts()
+        };
+        let report = dswp_loop(&mut p, main, kernel.header, &baseline.profile, &opts)
+            .unwrap_or_else(|e| panic!("partition {k} failed: {e} ({part:?})"));
+        assert_eq!(report.partitioning, *part);
+        verify_program(&p).unwrap();
+        let exec = Executor::new(&p)
+            .run()
+            .unwrap_or_else(|e| panic!("partition {k} deadlocked or failed: {e}"));
+        assert_eq!(exec.memory, baseline.memory, "partition {k} diverged");
+    }
+}
+
+#[test]
+fn every_valid_partitioning_of_diamond_is_equivalent() {
+    let kernel = diamond_kernel(40);
+    let baseline = Interpreter::new(&kernel.program).run().unwrap();
+    let mut scratch = kernel.program.clone();
+    let main = scratch.main();
+    let l = find_loops(scratch.function(main))
+        .into_iter()
+        .find(|l| l.header == kernel.header)
+        .unwrap();
+    dswp::normalize_loop(scratch.function_mut(main), &l).unwrap();
+    let l = find_loops(scratch.function(main))
+        .into_iter()
+        .find(|l| l.header == kernel.header)
+        .unwrap();
+    let liveness = Liveness::compute(scratch.function(main));
+    let pdg = build_pdg(
+        scratch.function(main),
+        &l,
+        &liveness,
+        &PdgOptions {
+            alias: AliasMode::Region,
+        },
+    );
+    let dag = DagScc::compute(&pdg.instr_graph());
+    for (k, part) in enumerate_two_thread(&dag, 512).iter().enumerate() {
+        let mut p = kernel.program.clone();
+        let opts = DswpOptions {
+            partitioning: Some(part.clone()),
+            ..default_opts()
+        };
+        let report = dswp_loop(&mut p, main, kernel.header, &baseline.profile, &opts);
+        let report = match report {
+            Ok(r) => r,
+            Err(e) => panic!("partition {k} failed: {e}"),
+        };
+        let _ = report;
+        let exec = Executor::new(&p)
+            .run()
+            .unwrap_or_else(|e| panic!("partition {k} failed at runtime: {e}"));
+        assert_eq!(exec.memory, baseline.memory, "partition {k} diverged");
+    }
+}
+
+#[test]
+fn dswp_speeds_up_the_list_kernel_on_the_timing_model() {
+    // The decoupling claim, end to end: DSWP'd pointer-chasing with a heavy
+    // body should beat single-threaded execution on the dual-core model.
+    let kernel = list_kernel(512);
+    let baseline_sim = Machine::new(&kernel.program, MachineConfig::full_width())
+        .run()
+        .unwrap();
+    let (p, _) = check_dswp(&kernel, &default_opts());
+    let dswp_sim = Machine::new(&p, MachineConfig::full_width()).run().unwrap();
+    assert!(
+        dswp_sim.cycles < baseline_sim.cycles,
+        "DSWP {} cycles vs baseline {}",
+        dswp_sim.cycles,
+        baseline_sim.cycles
+    );
+}
+
+#[test]
+fn queue_occupancy_shows_decoupling() {
+    let kernel = list_kernel(512);
+    let (p, _) = check_dswp(&kernel, &default_opts());
+    let sim = Machine::new(&p, MachineConfig::full_width()).run().unwrap();
+    // The producer runs ahead: some cycles must have buffered entries.
+    assert!(sim.occupancy.max() > 1, "occupancy {:?}", sim.occupancy.max());
+}
+
+#[test]
+fn comm_latency_insensitivity_figure9b_shape() {
+    // DSWP's headline property: the loop critical path never crosses cores,
+    // so 10x the communication latency should barely change cycles.
+    let kernel = list_kernel(512);
+    let (p, _) = check_dswp(&kernel, &default_opts());
+    let c1 = Machine::new(&p, MachineConfig::full_width().with_comm_latency(1))
+        .run()
+        .unwrap();
+    let c50 = Machine::new(&p, MachineConfig::full_width().with_comm_latency(50))
+        .run()
+        .unwrap();
+    assert_eq!(c1.memory, c50.memory);
+    let ratio = c50.cycles as f64 / c1.cycles as f64;
+    assert!(
+        ratio < 1.25,
+        "DSWP should tolerate latency; got slowdown ratio {ratio:.3}"
+    );
+}
+
+#[test]
+fn manual_three_thread_partition_roundtrips() {
+    // Extension beyond the paper's dual-core evaluation: a 3-stage pipeline.
+    let kernel = figure2_kernel();
+    let baseline = Interpreter::new(&kernel.program).run().unwrap();
+    let mut p = kernel.program.clone();
+    let main = p.main();
+    // Any assignment that is monotone over the DAG's topological order is
+    // valid (all arcs go forward in that order).
+    let mut scratch = kernel.program.clone();
+    let l = find_loops(scratch.function(main))
+        .into_iter()
+        .find(|l| l.header == kernel.header)
+        .unwrap();
+    dswp::normalize_loop(scratch.function_mut(main), &l).unwrap();
+    let l = find_loops(scratch.function(main))
+        .into_iter()
+        .find(|l| l.header == kernel.header)
+        .unwrap();
+    let liveness = Liveness::compute(scratch.function(main));
+    let pdg = build_pdg(
+        scratch.function(main),
+        &l,
+        &liveness,
+        &PdgOptions {
+            alias: AliasMode::Region,
+        },
+    );
+    let dag = DagScc::compute(&pdg.instr_graph());
+    let n = dag.len();
+    assert!(n >= 3);
+    let part = Partitioning::new((0..n).map(|i| i * 3 / n).collect(), 3);
+    let opts = DswpOptions {
+        partitioning: Some(part),
+        max_threads: 3,
+        ..default_opts()
+    };
+    let report = dswp_loop(&mut p, main, kernel.header, &baseline.profile, &opts).unwrap();
+    assert_eq!(report.partitioning.num_threads, 3);
+    assert_eq!(p.num_threads(), 3);
+    verify_program(&p).unwrap();
+    let exec = Executor::new(&p).run().unwrap();
+    assert_eq!(exec.memory, baseline.memory);
+    let sim = Machine::new(&p, MachineConfig::full_width()).run().unwrap();
+    assert_eq!(sim.memory, baseline.memory);
+}

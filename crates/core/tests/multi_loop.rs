@@ -1,0 +1,135 @@
+//! DSWP applied to *two* loops of one program, each getting its own
+//! auxiliary thread and master queue — stressing the Section 3 runtime
+//! protocol (per-loop auxiliary functions, per-thread master loops,
+//! terminate sentinels at every pre-existing halt).
+
+
+use dswp::{dswp_loop, DswpOptions};
+use dswp_analysis::AliasMode;
+use dswp_ir::interp::Interpreter;
+use dswp_ir::verify::verify_program;
+use dswp_ir::{BlockId, Program, ProgramBuilder, RegionId};
+use dswp_sim::{Executor, Machine, MachineConfig};
+
+/// Two back-to-back loops: the first transforms an array, the second sums
+/// the transformed values through a pointer chase.
+fn two_loop_program(n: i64) -> (Program, BlockId, BlockId) {
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.function("main");
+    let e = f.entry_block();
+    let h1 = f.block("h1");
+    let b1 = f.block("b1");
+    let mid = f.block("mid");
+    let h2 = f.block("h2");
+    let b2 = f.block("b2");
+    let exit = f.block("exit");
+
+    let (i, nn, done1, v, t, addr, base) = (
+        f.reg(),
+        f.reg(),
+        f.reg(),
+        f.reg(),
+        f.reg(),
+        f.reg(),
+        f.reg(),
+    );
+    let (j, done2, sum) = (f.reg(), f.reg(), f.reg());
+
+    f.switch_to(e);
+    f.iconst(i, 0);
+    f.iconst(nn, n);
+    f.iconst(base, 0);
+    f.jump(h1);
+
+    // Loop 1: a[k] = f(a[k]) — counted, DOALL-shaped.
+    f.switch_to(h1);
+    f.cmp_ge(done1, i, nn);
+    f.br(done1, mid, b1);
+    f.switch_to(b1);
+    f.add(addr, i, 8);
+    f.load_region(v, addr, 0, RegionId(0));
+    f.mul(t, v, 7);
+    f.add(t, t, 3);
+    f.rem(t, t, 1001);
+    f.store_region(t, addr, 0, RegionId(0));
+    f.add(i, i, 1);
+    f.jump(h1);
+
+    f.switch_to(mid);
+    f.iconst(j, 0);
+    f.iconst(sum, 0);
+    f.jump(h2);
+
+    // Loop 2: sum the transformed array with a heavier body.
+    f.switch_to(h2);
+    f.cmp_ge(done2, j, nn);
+    f.br(done2, exit, b2);
+    f.switch_to(b2);
+    f.add(addr, j, 8);
+    f.load_region(v, addr, 0, RegionId(0));
+    f.mul(t, v, 5);
+    f.rem(t, t, 997);
+    f.add(sum, sum, t);
+    f.add(j, j, 1);
+    f.jump(h2);
+
+    f.switch_to(exit);
+    f.store(sum, base, 0);
+    f.halt();
+    let main = f.finish();
+
+    let mut mem = vec![0i64; 8 + n as usize];
+    for k in 0..n as usize {
+        mem[8 + k] = (k as i64 * 31 + 11) % 500;
+    }
+    (
+        pb.finish_with_memory(main, mem),
+        BlockId(1),
+        BlockId(4),
+    )
+}
+
+#[test]
+fn both_loops_can_be_dswped_in_sequence() {
+    let (p, h1, h2) = two_loop_program(48);
+    let baseline = Interpreter::new(&p).run().unwrap();
+
+    let mut q = p.clone();
+    let main = q.main();
+    let opts = DswpOptions {
+        alias: AliasMode::Region,
+        min_speedup: 0.0,
+        ..DswpOptions::default()
+    };
+    let r1 = dswp_loop(&mut q, main, h1, &baseline.profile, &opts).unwrap();
+    // After the first transform, the program has queue instructions; the
+    // partitioner of the second loop only needs the second loop's profile —
+    // reuse the original (block ids of untouched blocks are stable).
+    let r2 = dswp_loop(&mut q, main, h2, &baseline.profile, &opts).unwrap();
+    assert_eq!(r1.partitioning.num_threads, 2);
+    assert_eq!(r2.partitioning.num_threads, 2);
+    assert_eq!(q.num_threads(), 3, "one auxiliary context per loop");
+    verify_program(&q).unwrap();
+
+    let exec = Executor::new(&q).run().unwrap();
+    assert_eq!(exec.memory, baseline.memory);
+
+    let sim = Machine::new(&q, MachineConfig::full_width()).run().unwrap();
+    assert_eq!(sim.memory, baseline.memory);
+}
+
+#[test]
+fn second_loop_alone_also_works() {
+    let (p, _, h2) = two_loop_program(48);
+    let baseline = Interpreter::new(&p).run().unwrap();
+    let mut q = p.clone();
+    let main = q.main();
+    let opts = DswpOptions {
+        alias: AliasMode::Region,
+        min_speedup: 0.0,
+        ..DswpOptions::default()
+    };
+    dswp_loop(&mut q, main, h2, &baseline.profile, &opts).unwrap();
+    let exec = Executor::new(&q).run().unwrap();
+    assert_eq!(exec.memory, baseline.memory);
+}

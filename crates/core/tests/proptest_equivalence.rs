@@ -1,0 +1,401 @@
+//! Property-based testing of the DSWP transformation: random structured
+//! loops (nested diamonds/sequences of random arithmetic, loads, stores)
+//! must be observationally equivalent after DSWP under the heuristic *and*
+//! under every enumerated valid partitioning.
+//!
+//! This is the repository's strongest correctness evidence: the generator
+//! produces loops with conditional stores, conditionally updated live-outs,
+//! cross-iteration register recurrences and aliasing memory traffic, and
+//! the oracle is exact (final memory image).
+
+use proptest::prelude::*;
+
+use dswp::{analyze_loop, dswp_loop, enumerate_two_thread, DswpError, DswpOptions};
+use dswp_analysis::AliasMode;
+use dswp_ir::interp::Interpreter;
+use dswp_ir::verify::verify_program;
+use dswp_ir::{BlockId, FunctionBuilder, Program, ProgramBuilder, Reg, RegionId};
+use dswp_sim::{Executor, Machine, MachineConfig};
+
+/// Number of general-purpose pool registers the generator plays with.
+const POOL: usize = 6;
+/// Iterations the generated loop runs.
+const ITERS: i64 = 20;
+/// Two disjoint scratch arrays (region 0 and region 1).
+const ARRAY_A: i64 = 16;
+const ARRAY_B: i64 = 48;
+const ARRAY_MASK: i64 = 31;
+
+#[derive(Clone, Debug)]
+enum LeafOp {
+    /// `pool[d] = pool[a] <op> pool[b]`, op selected by `k`.
+    Bin { d: u8, a: u8, b: u8, k: u8 },
+    /// `pool[d] = (pool[a] <cmp> pool[b])`.
+    Cmp { d: u8, a: u8, b: u8, k: u8 },
+    /// `pool[d] = array[r][pool[a] & mask]`.
+    Load { d: u8, a: u8, r: bool },
+    /// `array[r][pool[a] & mask] = pool[s]`.
+    Store { s: u8, a: u8, r: bool },
+    /// `pool[d] = array[r][i + k]` — IV-addressed (scalar-evolution food).
+    IdxLoad { d: u8, k: u8, r: bool },
+    /// `array[r][i + k] = pool[s]` — IV-addressed.
+    IdxStore { s: u8, k: u8, r: bool },
+}
+
+#[derive(Clone, Debug)]
+enum Shape {
+    Leaf(Vec<LeafOp>),
+    Seq(Box<Shape>, Box<Shape>),
+    Diamond(u8, Box<Shape>, Box<Shape>),
+}
+
+fn leaf_op() -> impl Strategy<Value = LeafOp> {
+    let r = 0u8..POOL as u8;
+    prop_oneof![
+        (r.clone(), r.clone(), r.clone(), 0u8..8).prop_map(|(d, a, b, k)| LeafOp::Bin { d, a, b, k }),
+        (r.clone(), r.clone(), r.clone(), 0u8..4).prop_map(|(d, a, b, k)| LeafOp::Cmp { d, a, b, k }),
+        (r.clone(), r.clone(), any::<bool>()).prop_map(|(d, a, r)| LeafOp::Load { d, a, r }),
+        (r.clone(), r.clone(), any::<bool>()).prop_map(|(s, a, r)| LeafOp::Store { s, a, r }),
+        (r.clone(), 0u8..8, any::<bool>()).prop_map(|(d, k, r)| LeafOp::IdxLoad { d, k, r }),
+        (r, 0u8..8, any::<bool>()).prop_map(|(s, k, r)| LeafOp::IdxStore { s, k, r }),
+    ]
+}
+
+fn shape(depth: u32) -> BoxedStrategy<Shape> {
+    let leaf = prop::collection::vec(leaf_op(), 1..5).prop_map(Shape::Leaf);
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    prop_oneof![
+        3 => leaf,
+        2 => (shape(depth - 1), shape(depth - 1))
+            .prop_map(|(a, b)| Shape::Seq(Box::new(a), Box::new(b))),
+        2 => (0u8..POOL as u8, shape(depth - 1), shape(depth - 1))
+            .prop_map(|(c, a, b)| Shape::Diamond(c, Box::new(a), Box::new(b))),
+    ]
+    .boxed()
+}
+
+struct Emitter {
+    pool: Vec<Reg>,
+    /// The loop counter (a basic induction variable).
+    iv: Reg,
+}
+
+impl Emitter {
+    fn emit_leaf(&self, f: &mut FunctionBuilder, ops: &[LeafOp]) {
+        for op in ops {
+            match *op {
+                LeafOp::Bin { d, a, b, k } => {
+                    use dswp_ir::BinOp::*;
+                    let ops = [Add, Sub, Mul, And, Or, Xor, Min, Max];
+                    f.binary(
+                        self.pool[d as usize],
+                        ops[k as usize % ops.len()],
+                        self.pool[a as usize],
+                        self.pool[b as usize],
+                    );
+                }
+                LeafOp::Cmp { d, a, b, k } => {
+                    use dswp_ir::CmpOp::*;
+                    let ops = [Eq, Ne, Lt, Ge];
+                    f.cmp(
+                        self.pool[d as usize],
+                        ops[k as usize % ops.len()],
+                        self.pool[a as usize],
+                        self.pool[b as usize],
+                    );
+                }
+                LeafOp::Load { d, a, r } => {
+                    let addr = f.reg();
+                    f.and(addr, self.pool[a as usize], ARRAY_MASK);
+                    let (base, region) = if r {
+                        (ARRAY_B, RegionId(1))
+                    } else {
+                        (ARRAY_A, RegionId(0))
+                    };
+                    f.add(addr, addr, base);
+                    f.load_region(self.pool[d as usize], addr, 0, region);
+                }
+                LeafOp::Store { s, a, r } => {
+                    let addr = f.reg();
+                    f.and(addr, self.pool[a as usize], ARRAY_MASK);
+                    let (base, region) = if r {
+                        (ARRAY_B, RegionId(1))
+                    } else {
+                        (ARRAY_A, RegionId(0))
+                    };
+                    f.add(addr, addr, base);
+                    f.store_region(self.pool[s as usize], addr, 0, region);
+                }
+                LeafOp::IdxLoad { d, k, r } => {
+                    let addr = f.reg();
+                    let (base, region) = if r {
+                        (ARRAY_B, RegionId(1))
+                    } else {
+                        (ARRAY_A, RegionId(0))
+                    };
+                    f.add(addr, self.iv, base);
+                    f.load_region(self.pool[d as usize], addr, k as i64, region);
+                }
+                LeafOp::IdxStore { s, k, r } => {
+                    let addr = f.reg();
+                    let (base, region) = if r {
+                        (ARRAY_B, RegionId(1))
+                    } else {
+                        (ARRAY_A, RegionId(0))
+                    };
+                    f.add(addr, self.iv, base);
+                    f.store_region(self.pool[s as usize], addr, k as i64, region);
+                }
+            }
+        }
+    }
+
+    /// Emits `shape`, returning the block to continue from.
+    fn emit(&self, f: &mut FunctionBuilder, cur: BlockId, shape: &Shape, n: &mut usize) -> BlockId {
+        *n += 1;
+        match shape {
+            Shape::Leaf(ops) => {
+                f.switch_to(cur);
+                self.emit_leaf(f, ops);
+                cur
+            }
+            Shape::Seq(a, b) => {
+                let after_a = self.emit(f, cur, a, n);
+                self.emit(f, after_a, b, n)
+            }
+            Shape::Diamond(c, a, b) => {
+                let then_b = f.block(format!("then{n}"));
+                let else_b = f.block(format!("else{n}"));
+                let join = f.block(format!("join{n}"));
+                let cond = f.reg();
+                f.switch_to(cur);
+                f.and(cond, self.pool[*c as usize], 1);
+                f.br(cond, then_b, else_b);
+                let ta = self.emit(f, then_b, a, n);
+                f.switch_to(ta);
+                f.jump(join);
+                let tb = self.emit(f, else_b, b, n);
+                f.switch_to(tb);
+                f.jump(join);
+                join
+            }
+        }
+    }
+}
+
+/// Builds a terminating loop program around the random body.
+fn build_program(body: &Shape, seeds: &[i64]) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.function("main");
+    let entry = f.entry_block();
+    let header = f.block("header");
+    let first_body = f.block("body");
+    let latch = f.block("latch");
+    let exit = f.block("exit");
+
+    let i = f.reg();
+    let n = f.reg();
+    let done = f.reg();
+    let pool: Vec<Reg> = (0..POOL).map(|_| f.reg()).collect();
+
+    f.switch_to(entry);
+    f.iconst(i, 0);
+    f.iconst(n, ITERS);
+    for (k, &r) in pool.iter().enumerate() {
+        f.iconst(r, seeds[k % seeds.len()]);
+    }
+    f.jump(header);
+
+    f.switch_to(header);
+    f.cmp_ge(done, i, n);
+    f.br(done, exit, first_body);
+
+    let em = Emitter {
+        pool: pool.clone(),
+        iv: i,
+    };
+    let mut counter = 0usize;
+    let last = em.emit(&mut f, first_body, body, &mut counter);
+    f.switch_to(last);
+    f.jump(latch);
+    f.switch_to(latch);
+    f.add(i, i, 1);
+    f.jump(header);
+
+    f.switch_to(exit);
+    // Make every pool register observable through memory.
+    let base = f.reg();
+    f.iconst(base, 0);
+    for (k, &r) in pool.iter().enumerate() {
+        f.store(r, base, k as i64);
+    }
+    f.halt();
+    let main = f.finish();
+
+    let mut mem = vec![0i64; 96];
+    for (k, slot) in mem.iter_mut().enumerate().skip(ARRAY_A as usize) {
+        *slot = (k as i64).wrapping_mul(2654435761) % 1000;
+    }
+    pb.finish_with_memory(main, mem)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        max_shrink_iters: 200,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn random_loops_survive_dswp(
+        body in shape(2),
+        seeds in prop::collection::vec(-50i64..50, POOL),
+    ) {
+        let program = build_program(&body, &seeds);
+        verify_program(&program).expect("generated program verifies");
+        let baseline = Interpreter::new(&program).run().expect("baseline runs");
+
+        let main = program.main();
+        let header = BlockId(1);
+
+        // Heuristic pass (profitability disabled so every split is tested).
+        let mut p = program.clone();
+        let opts = DswpOptions {
+            alias: AliasMode::Region,
+            min_speedup: 0.0,
+            ..DswpOptions::default()
+        };
+        match dswp_loop(&mut p, main, header, &baseline.profile, &opts) {
+            Ok(_) => {
+                verify_program(&p).expect("transformed program verifies");
+                let exec = Executor::new(&p).run().expect("no deadlock");
+                prop_assert_eq!(&exec.memory, &baseline.memory);
+            }
+            Err(DswpError::SingleScc | DswpError::NotProfitable) => {}
+            Err(e) => prop_assert!(false, "unexpected DSWP error: {e}"),
+        }
+
+        // A handful of enumerated valid partitionings.
+        if let Ok(a) = analyze_loop(&program, main, header, AliasMode::Region) {
+            for part in enumerate_two_thread(&a.dag, 4) {
+                let mut p = program.clone();
+                let opts = DswpOptions {
+                    alias: AliasMode::Region,
+                    partitioning: Some(part.clone()),
+                    ..DswpOptions::default()
+                };
+                dswp_loop(&mut p, main, header, &baseline.profile, &opts)
+                    .expect("valid partitioning transforms");
+                let exec = Executor::new(&p).run().expect("no deadlock");
+                prop_assert_eq!(&exec.memory, &baseline.memory, "partition {:?}", part);
+            }
+        }
+    }
+
+    #[test]
+    fn random_loops_survive_scev_then_precise_dswp(
+        body in shape(2),
+        seeds in prop::collection::vec(-50i64..50, POOL),
+    ) {
+        let program = build_program(&body, &seeds);
+        let baseline = Interpreter::new(&program).run().expect("baseline runs");
+        let main = program.main();
+
+        let mut p = program.clone();
+        dswp::annotate_loop_affine(&mut p, main, BlockId(1)).expect("scev runs");
+        let annotated = Interpreter::new(&p).run().expect("annotated runs");
+        prop_assert_eq!(&annotated.memory, &baseline.memory);
+
+        let opts = DswpOptions {
+            alias: AliasMode::Precise,
+            min_speedup: 0.0,
+            ..DswpOptions::default()
+        };
+        if dswp_loop(&mut p, main, BlockId(1), &annotated.profile, &opts).is_ok() {
+            let exec = Executor::new(&p).run().expect("no deadlock");
+            prop_assert_eq!(&exec.memory, &baseline.memory,
+                "scev-derived precise analysis licensed a wrong split");
+        }
+    }
+
+    #[test]
+    fn random_loops_survive_list_scheduling(
+        body in shape(2),
+        seeds in prop::collection::vec(-50i64..50, POOL),
+    ) {
+        let program = build_program(&body, &seeds);
+        let baseline = Interpreter::new(&program).run().expect("baseline runs");
+        let mut s = program.clone();
+        dswp::schedule_program(
+            &mut s,
+            &dswp_ir::LatencyTable::default(),
+            AliasMode::Region,
+        );
+        verify_program(&s).expect("scheduled program verifies");
+        let after = Interpreter::new(&s).run().expect("scheduled runs");
+        prop_assert_eq!(&after.memory, &baseline.memory);
+
+        // Scheduling composes with DSWP.
+        let main = s.main();
+        let opts = DswpOptions {
+            alias: AliasMode::Region,
+            min_speedup: 0.0,
+            ..DswpOptions::default()
+        };
+        if dswp_loop(&mut s, main, BlockId(1), &after.profile, &opts).is_ok() {
+            let exec = Executor::new(&s).run().expect("no deadlock");
+            prop_assert_eq!(&exec.memory, &baseline.memory);
+        }
+    }
+
+    #[test]
+    fn random_loops_survive_unrolling_then_dswp(
+        body in shape(1),
+        seeds in prop::collection::vec(-50i64..50, POOL),
+        factor in 2usize..4,
+    ) {
+        let program = build_program(&body, &seeds);
+        let baseline = Interpreter::new(&program).run().expect("baseline runs");
+        let main = program.main();
+
+        let mut u = program.clone();
+        dswp::unroll_loop(&mut u, main, BlockId(1), factor).expect("unrolls");
+        verify_program(&u).expect("unrolled program verifies");
+        let after = Interpreter::new(&u).run().expect("unrolled runs");
+        prop_assert_eq!(&after.memory, &baseline.memory);
+
+        let opts = DswpOptions {
+            alias: AliasMode::Region,
+            min_speedup: 0.0,
+            ..DswpOptions::default()
+        };
+        if dswp_loop(&mut u, main, BlockId(1), &after.profile, &opts).is_ok() {
+            let exec = Executor::new(&u).run().expect("no deadlock");
+            prop_assert_eq!(&exec.memory, &baseline.memory);
+        }
+    }
+
+    #[test]
+    fn random_loops_survive_dswp_on_the_timing_model(
+        body in shape(1),
+        seeds in prop::collection::vec(-50i64..50, POOL),
+    ) {
+        let program = build_program(&body, &seeds);
+        let baseline = Interpreter::new(&program).run().expect("baseline runs");
+        let main = program.main();
+        let mut p = program.clone();
+        let opts = DswpOptions {
+            alias: AliasMode::Region,
+            min_speedup: 0.0,
+            ..DswpOptions::default()
+        };
+        if dswp_loop(&mut p, main, BlockId(1), &baseline.profile, &opts).is_ok() {
+            let sim = Machine::new(&p, MachineConfig::full_width())
+                .run()
+                .expect("timing model runs");
+            prop_assert_eq!(&sim.memory, &baseline.memory);
+        }
+    }
+}

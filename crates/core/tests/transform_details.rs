@@ -1,0 +1,191 @@
+//! Structural checks on the code the DSWP transformation emits, matching
+//! the paper's Figure 2(d)/(e) and Section 3 descriptions: flow placement,
+//! duplicated branches, the master-thread runtime, and termination.
+
+mod common;
+
+use common::*;
+use dswp_ir::program::TERMINATE_SENTINEL;
+use dswp_ir::{Op, Operand};
+
+/// Collects all ops of a function as display strings (reachable blocks
+/// only), for structural matching.
+fn reachable_ops(p: &dswp_ir::Program, fid: dswp_ir::FuncId) -> Vec<String> {
+    let f = p.function(fid);
+    let mut seen = vec![false; f.num_blocks()];
+    let mut stack = vec![f.entry()];
+    seen[f.entry().index()] = true;
+    let mut out = Vec::new();
+    while let Some(b) = stack.pop() {
+        for &i in f.block(b).instrs() {
+            out.push(f.op(i).to_string());
+        }
+        for s in f.successors(b) {
+            if !seen[s.index()] {
+                seen[s.index()] = true;
+                stack.push(s);
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn figure2_split_has_the_paper_shape() {
+    let kernel = figure2_kernel();
+    let (p, report) = check_dswp(&kernel, &default_opts());
+
+    // One auxiliary loop function and one master function were created.
+    assert_eq!(report.artifacts.aux_functions.len(), 1);
+    assert_eq!(report.artifacts.master_functions.len(), 1);
+    let aux = report.artifacts.aux_functions[0];
+    let master = report.artifacts.master_functions[0];
+
+    // Producer thread (main) contains PRODUCE instructions for the loop
+    // flows and at least one for the master queue; the consumer contains
+    // the matching CONSUMEs and a duplicated branch fed by a consumed flag.
+    let main_ops = reachable_ops(&p, p.main());
+    let aux_ops = reachable_ops(&p, aux);
+    assert!(
+        main_ops.iter().any(|o| o.starts_with("PRODUCE")),
+        "{main_ops:#?}"
+    );
+    assert!(
+        aux_ops.iter().any(|o| o.starts_with("CONSUME")),
+        "{aux_ops:#?}"
+    );
+    // The consumer finishes with final-flow produce(s) and a ret back to
+    // the master loop (Fig. 2(e): `BB7': PRODUCE [3] = r`).
+    assert!(aux_ops.iter().any(|o| o.starts_with("PRODUCE")));
+    assert!(aux_ops.iter().any(|o| o == "ret"));
+    assert!(
+        !aux_ops.iter().any(|o| o == "halt"),
+        "aux loop must return to the master, not halt"
+    );
+
+    // The master function is the Section 3 dispatcher: consume, call.ind,
+    // loop.
+    let master_ops = reachable_ops(&p, master);
+    assert_eq!(master_ops.len(), 3, "{master_ops:#?}");
+    assert!(master_ops[0].starts_with("CONSUME"));
+    assert!(master_ops[1].starts_with("call.ind"));
+    assert!(master_ops[2].starts_with("jump"));
+
+    // The main thread wakes the auxiliary thread with the aux function id
+    // and later sends the terminate sentinel before halting.
+    let expected_wake = format!("= {}", aux.index());
+    assert!(
+        main_ops
+            .iter()
+            .any(|o| o.starts_with("PRODUCE") && o.ends_with(&expected_wake)),
+        "missing master wake-up: {main_ops:#?}"
+    );
+    let expected_sentinel = format!("= {TERMINATE_SENTINEL}");
+    assert!(
+        main_ops
+            .iter()
+            .any(|o| o.starts_with("PRODUCE") && o.ends_with(&expected_sentinel)),
+        "missing terminate sentinel: {main_ops:#?}"
+    );
+}
+
+#[test]
+fn duplicated_branch_consumes_its_flag_first() {
+    // In every auxiliary function, a conditional branch must be preceded
+    // (somewhere in its block) by either the computation of its condition
+    // or a CONSUME into the condition register — never read a stale flag.
+    let kernel = figure2_kernel();
+    let (p, report) = check_dswp(&kernel, &default_opts());
+    for &aux in &report.artifacts.aux_functions {
+        let f = p.function(aux);
+        for b in f.block_ids() {
+            let instrs = f.block(b).instrs();
+            let Some((&last, rest)) = instrs.split_last() else {
+                continue;
+            };
+            if let Op::Br { cond, .. } = f.op(last) {
+                let defined_in_block = rest.iter().any(|&i| f.op(i).def() == Some(*cond));
+                assert!(
+                    defined_in_block,
+                    "branch in {b} of {} reads a condition defined elsewhere",
+                    f.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_queue_has_exactly_one_producer_and_consumer_site_pairing() {
+    // Queues are point-to-point: all produces of a queue live in one
+    // function and all consumes in another (or the same for none).
+    let kernel = figure2_kernel();
+    let (p, _) = check_dswp(&kernel, &default_opts());
+    for q in 0..p.num_queues {
+        let mut producers = std::collections::BTreeSet::new();
+        let mut consumers = std::collections::BTreeSet::new();
+        for (fi, f) in p.functions().iter().enumerate() {
+            for (_, i) in f.instr_ids() {
+                match f.op(i) {
+                    Op::Produce { queue, .. } | Op::ProduceToken { queue }
+                        if queue.0 == q =>
+                    {
+                        producers.insert(fi);
+                    }
+                    Op::Consume { queue, .. } | Op::ConsumeToken { queue }
+                        if queue.0 == q =>
+                    {
+                        consumers.insert(fi);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        assert!(producers.len() <= 1, "queue q{q} produced from {producers:?}");
+        assert!(consumers.len() <= 1, "queue q{q} consumed from {consumers:?}");
+        assert_ne!(
+            producers, consumers,
+            "queue q{q} must cross threads (p={producers:?}, c={consumers:?})"
+        );
+    }
+}
+
+#[test]
+fn completion_token_orders_post_loop_reads() {
+    // The landing block of the main thread must consume one token per
+    // auxiliary stage (the fix for post-loop memory reads racing pending
+    // stores).
+    let kernel = list_kernel(32);
+    let (p, report) = check_dswp(&kernel, &default_opts());
+    let main_ops = reachable_ops(&p, p.main());
+    let tokens = main_ops
+        .iter()
+        .filter(|o| o.starts_with("CONSUME.token"))
+        .count();
+    assert!(
+        tokens >= report.artifacts.aux_functions.len(),
+        "expected ≥{} completion tokens, found {tokens}",
+        report.artifacts.aux_functions.len()
+    );
+}
+
+#[test]
+fn produce_wake_value_is_an_immediate_function_id() {
+    let kernel = diamond_kernel(24);
+    let (p, report) = check_dswp(&kernel, &default_opts());
+    let aux = report.artifacts.aux_functions[0];
+    let f = p.function(p.main());
+    let mut found = false;
+    for (_, i) in f.instr_ids() {
+        if let Op::Produce {
+            src: Operand::Imm(v),
+            ..
+        } = f.op(i)
+        {
+            if *v == aux.index() as i64 {
+                found = true;
+            }
+        }
+    }
+    assert!(found, "main must produce the auxiliary function id");
+}

@@ -1,0 +1,335 @@
+//! Functions and basic blocks.
+//!
+//! A [`Function`] owns a pool of instructions indexed by stable
+//! [`InstrId`]s and a list of [`Block`]s, each an ordered sequence of
+//! instruction ids. Instruction ids never move when blocks are edited, so
+//! analyses (dependence graphs, partitions) can index side tables by
+//! `InstrId` while the DSWP transformation rewrites the CFG.
+
+use crate::op::Op;
+use crate::types::{BlockId, InstrId, Reg};
+
+/// A basic block: a named, ordered list of instructions ending in a
+/// terminator.
+#[derive(Clone, Debug)]
+pub struct Block {
+    /// Human-readable block label (for printing and debugging).
+    pub name: String,
+    instrs: Vec<InstrId>,
+}
+
+impl Block {
+    /// The instructions of this block, in program order.
+    #[inline]
+    pub fn instrs(&self) -> &[InstrId] {
+        &self.instrs
+    }
+}
+
+/// A function: an entry block plus a CFG of basic blocks over a private
+/// virtual-register space.
+///
+/// Functions take no arguments and return no values; threads communicate
+/// through the shared memory and the synchronization-array queues, matching
+/// the paper's auxiliary-thread protocol (Section 3).
+#[derive(Clone, Debug)]
+pub struct Function {
+    /// Function name (for printing and debugging).
+    pub name: String,
+    entry: BlockId,
+    blocks: Vec<Block>,
+    instrs: Vec<Op>,
+    num_regs: u32,
+}
+
+impl Function {
+    /// Creates an empty function with no blocks.
+    ///
+    /// The caller must add at least one block and point the entry at it
+    /// (via [`add_block`](Self::add_block) / [`set_entry`](Self::set_entry))
+    /// before the function can verify. Used by program transformations that
+    /// assemble functions directly; prefer
+    /// [`ProgramBuilder::function`](crate::ProgramBuilder::function) for
+    /// ordinary construction.
+    pub fn new(name: impl Into<String>) -> Self {
+        Function {
+            name: name.into(),
+            entry: BlockId(0),
+            blocks: Vec::new(),
+            instrs: Vec::new(),
+            num_regs: 0,
+        }
+    }
+
+    pub(crate) fn from_parts(
+        name: String,
+        entry: BlockId,
+        blocks: Vec<Block>,
+        instrs: Vec<Op>,
+        num_regs: u32,
+    ) -> Self {
+        Function {
+            name,
+            entry,
+            blocks,
+            instrs,
+            num_regs,
+        }
+    }
+
+    /// The entry block.
+    #[inline]
+    pub fn entry(&self) -> BlockId {
+        self.entry
+    }
+
+    /// Number of basic blocks.
+    #[inline]
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of virtual registers (registers are `Reg(0)..Reg(num_regs)`).
+    #[inline]
+    pub fn num_regs(&self) -> u32 {
+        self.num_regs
+    }
+
+    /// Number of instruction slots (some may be dead after transformation).
+    #[inline]
+    pub fn num_instr_slots(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Iterates over all block ids.
+    pub fn block_ids(&self) -> impl Iterator<Item = BlockId> + '_ {
+        (0..self.blocks.len()).map(BlockId::from_index)
+    }
+
+    /// Returns a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// Returns the opcode of an instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn op(&self, id: InstrId) -> &Op {
+        &self.instrs[id.index()]
+    }
+
+    /// Mutable access to the opcode of an instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn op_mut(&mut self, id: InstrId) -> &mut Op {
+        &mut self.instrs[id.index()]
+    }
+
+    /// The terminator instruction of a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is empty (unverified function).
+    pub fn terminator(&self, id: BlockId) -> &Op {
+        let last = *self
+            .block(id)
+            .instrs
+            .last()
+            .expect("block has no terminator");
+        self.op(last)
+    }
+
+    /// CFG successors of a block.
+    pub fn successors(&self, id: BlockId) -> Vec<BlockId> {
+        self.terminator(id).successors()
+    }
+
+    /// Computes the CFG predecessor lists for all blocks.
+    pub fn predecessors(&self) -> Vec<Vec<BlockId>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for b in self.block_ids() {
+            for s in self.successors(b) {
+                preds[s.index()].push(b);
+            }
+        }
+        preds
+    }
+
+    /// Iterates over `(BlockId, InstrId)` for every instruction in block
+    /// order.
+    pub fn instr_ids(&self) -> impl Iterator<Item = (BlockId, InstrId)> + '_ {
+        self.block_ids().flat_map(move |b| {
+            self.block(b)
+                .instrs
+                .iter()
+                .copied()
+                .map(move |i| (b, i))
+        })
+    }
+
+    /// Total number of live (block-resident) instructions.
+    pub fn num_instrs(&self) -> usize {
+        self.blocks.iter().map(|b| b.instrs.len()).sum()
+    }
+
+    /// The block containing each instruction, as an `InstrId`-indexed table
+    /// (`None` for instruction slots not currently in any block).
+    pub fn instr_blocks(&self) -> Vec<Option<BlockId>> {
+        let mut table = vec![None; self.instrs.len()];
+        for (b, i) in self.instr_ids() {
+            table[i.index()] = Some(b);
+        }
+        table
+    }
+
+    // ---- mutation API (used by the builder and the DSWP transformation) ----
+
+    /// Allocates a fresh virtual register.
+    pub fn new_reg(&mut self) -> Reg {
+        let r = Reg(self.num_regs);
+        self.num_regs += 1;
+        r
+    }
+
+    /// Ensures the register space covers `reg` (used when copying code
+    /// between functions).
+    pub fn ensure_reg(&mut self, reg: Reg) {
+        self.num_regs = self.num_regs.max(reg.0 + 1);
+    }
+
+    /// Appends a new empty block and returns its id.
+    pub fn add_block(&mut self, name: impl Into<String>) -> BlockId {
+        let id = BlockId::from_index(self.blocks.len());
+        self.blocks.push(Block {
+            name: name.into(),
+            instrs: Vec::new(),
+        });
+        id
+    }
+
+    /// Allocates a new instruction slot holding `op` (not yet in any block).
+    pub fn add_instr(&mut self, op: Op) -> InstrId {
+        let id = InstrId::from_index(self.instrs.len());
+        self.instrs.push(op);
+        id
+    }
+
+    /// Appends an existing instruction to the end of a block.
+    pub fn push_instr(&mut self, block: BlockId, instr: InstrId) {
+        self.blocks[block.index()].instrs.push(instr);
+    }
+
+    /// Inserts an instruction at `index` within a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > block.len()`.
+    pub fn insert_instr(&mut self, block: BlockId, index: usize, instr: InstrId) {
+        self.blocks[block.index()].instrs.insert(index, instr);
+    }
+
+    /// Replaces the entire instruction list of a block.
+    pub fn set_block_instrs(&mut self, block: BlockId, instrs: Vec<InstrId>) {
+        self.blocks[block.index()].instrs = instrs;
+    }
+
+    /// Changes the entry block.
+    pub fn set_entry(&mut self, entry: BlockId) {
+        self.entry = entry;
+    }
+
+    /// Convenience: allocates and appends `op` at the end of `block`,
+    /// before nothing (the caller is responsible for terminator ordering).
+    pub fn append_op(&mut self, block: BlockId, op: Op) -> InstrId {
+        let id = self.add_instr(op);
+        self.push_instr(block, id);
+        id
+    }
+
+    /// Convenience: allocates `op` and inserts it just before the block's
+    /// terminator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block has no terminator yet.
+    pub fn insert_before_terminator(&mut self, block: BlockId, op: Op) -> InstrId {
+        let len = self.blocks[block.index()].instrs.len();
+        assert!(len > 0, "block {block} has no terminator");
+        let id = self.add_instr(op);
+        self.insert_instr(block, len - 1, id);
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{Op, Operand};
+    use crate::types::Reg;
+
+    fn tiny() -> Function {
+        let mut f = Function::from_parts("t".into(), BlockId(0), Vec::new(), Vec::new(), 0);
+        let b0 = f.add_block("entry");
+        let b1 = f.add_block("exit");
+        let r0 = f.new_reg();
+        f.append_op(b0, Op::Const { dst: r0, value: 1 });
+        f.append_op(b0, Op::Jump { target: b1 });
+        f.append_op(b1, Op::Halt);
+        f
+    }
+
+    #[test]
+    fn successors_and_predecessors() {
+        let f = tiny();
+        assert_eq!(f.successors(BlockId(0)), vec![BlockId(1)]);
+        let preds = f.predecessors();
+        assert_eq!(preds[1], vec![BlockId(0)]);
+        assert!(preds[0].is_empty());
+    }
+
+    #[test]
+    fn instr_blocks_table() {
+        let f = tiny();
+        let table = f.instr_blocks();
+        assert_eq!(table[0], Some(BlockId(0)));
+        assert_eq!(table[2], Some(BlockId(1)));
+        assert_eq!(f.num_instrs(), 3);
+    }
+
+    #[test]
+    fn insert_before_terminator_keeps_terminator_last() {
+        let mut f = tiny();
+        let r = f.new_reg();
+        f.insert_before_terminator(
+            BlockId(1),
+            Op::Unary {
+                dst: r,
+                op: crate::op::UnOp::Mov,
+                src: Operand::Imm(7),
+            },
+        );
+        let last = *f.block(BlockId(1)).instrs().last().unwrap();
+        assert!(f.op(last).is_terminator());
+        assert_eq!(f.block(BlockId(1)).instrs().len(), 2);
+    }
+
+    #[test]
+    fn ensure_reg_grows_register_space() {
+        let mut f = tiny();
+        f.ensure_reg(Reg(40));
+        assert_eq!(f.num_regs(), 41);
+        f.ensure_reg(Reg(3));
+        assert_eq!(f.num_regs(), 41);
+    }
+}

@@ -1,0 +1,113 @@
+//! Per-opcode latency assignments.
+//!
+//! A [`LatencyTable`] maps each [`LatencyClass`] to a cycle count. It is
+//! consumed both by the DSWP thread-partitioning heuristic (which weighs
+//! each SCC by "instruction latency and its execution profile weight",
+//! Section 2.2.2 of the paper) and by the cycle-level simulator.
+//!
+//! The default values approximate an Itanium 2 core: single-cycle integer
+//! ALU, pipelined FP at 4 cycles, L1D-hit loads at 2 cycles (the cache model
+//! adds miss penalties on top), and 1-cycle queue access (the
+//! synchronization array's read latency, Section 4.2).
+
+use crate::op::{LatencyClass, Op};
+
+/// Cycle latencies per [`LatencyClass`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LatencyTable {
+    /// Simple integer ALU operations.
+    pub int_alu: u64,
+    /// Integer multiply.
+    pub int_mul: u64,
+    /// Integer divide / remainder.
+    pub int_div: u64,
+    /// Floating-point add/sub/convert/compare.
+    pub fp_alu: u64,
+    /// Floating-point multiply.
+    pub fp_mul: u64,
+    /// Floating-point divide.
+    pub fp_div: u64,
+    /// Load hit latency (cache misses add penalties in the simulator).
+    pub load: u64,
+    /// Store occupancy.
+    pub store: u64,
+    /// Branch / jump.
+    pub branch: u64,
+    /// Call / return overhead.
+    pub call: u64,
+    /// `produce`/`consume` access latency.
+    pub queue: u64,
+    /// Nop / halt.
+    pub nop: u64,
+}
+
+impl Default for LatencyTable {
+    fn default() -> Self {
+        LatencyTable {
+            int_alu: 1,
+            int_mul: 3,
+            int_div: 18,
+            fp_alu: 4,
+            fp_mul: 4,
+            fp_div: 24,
+            load: 2,
+            store: 1,
+            branch: 1,
+            call: 2,
+            queue: 1,
+            nop: 1,
+        }
+    }
+}
+
+impl LatencyTable {
+    /// The latency of a latency class.
+    pub fn class(&self, class: LatencyClass) -> u64 {
+        match class {
+            LatencyClass::IntAlu => self.int_alu,
+            LatencyClass::IntMul => self.int_mul,
+            LatencyClass::IntDiv => self.int_div,
+            LatencyClass::FpAlu => self.fp_alu,
+            LatencyClass::FpMul => self.fp_mul,
+            LatencyClass::FpDiv => self.fp_div,
+            LatencyClass::Load => self.load,
+            LatencyClass::Store => self.store,
+            LatencyClass::Branch => self.branch,
+            LatencyClass::Call => self.call,
+            LatencyClass::Queue => self.queue,
+            LatencyClass::Nop => self.nop,
+        }
+    }
+
+    /// The latency of an instruction.
+    pub fn op(&self, op: &Op) -> u64 {
+        self.class(op.latency_class())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{BinOp, Operand};
+    use crate::types::Reg;
+
+    #[test]
+    fn default_table_is_itanium_flavored() {
+        let t = LatencyTable::default();
+        assert_eq!(t.class(LatencyClass::IntAlu), 1);
+        assert!(t.class(LatencyClass::FpDiv) > t.class(LatencyClass::FpMul));
+        assert!(t.class(LatencyClass::IntDiv) > t.class(LatencyClass::IntMul));
+    }
+
+    #[test]
+    fn op_latency_dispatches_by_class() {
+        let t = LatencyTable::default();
+        let mul = Op::Binary {
+            dst: Reg(0),
+            op: BinOp::Mul,
+            lhs: Operand::Imm(1),
+            rhs: Operand::Imm(2),
+        };
+        assert_eq!(t.op(&mul), t.int_mul);
+    }
+}

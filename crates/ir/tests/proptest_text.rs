@@ -1,0 +1,158 @@
+//! Property tests for the text format: serialize → parse → serialize must
+//! be a fixed point, and the parsed program must behave identically, for
+//! randomly generated programs covering every opcode family.
+
+use proptest::prelude::*;
+
+use dswp_ir::interp::Interpreter;
+use dswp_ir::op::MemInfo;
+use dswp_ir::verify::verify_program;
+use dswp_ir::{parse_program, to_text, BinOp, CmpOp, Program, ProgramBuilder, RegionId, UnOp};
+
+const REGS: usize = 5;
+const MEM: usize = 24;
+
+#[derive(Clone, Debug)]
+enum GenOp {
+    Const { d: u8, v: i64 },
+    Un { d: u8, a: u8, k: u8 },
+    Bin { d: u8, a: u8, b: u8, k: u8 },
+    BinImm { d: u8, a: u8, imm: i64, k: u8 },
+    Cmp { d: u8, a: u8, b: u8, k: u8 },
+    Load { d: u8, off: u8, region: Option<u8>, affine: bool },
+    Store { s: u8, off: u8, region: Option<u8> },
+}
+
+fn gen_op() -> impl Strategy<Value = GenOp> {
+    let r = 0u8..REGS as u8;
+    prop_oneof![
+        (r.clone(), -100i64..100).prop_map(|(d, v)| GenOp::Const { d, v }),
+        (r.clone(), r.clone(), 0u8..5).prop_map(|(d, a, k)| GenOp::Un { d, a, k }),
+        (r.clone(), r.clone(), r.clone(), 0u8..16)
+            .prop_map(|(d, a, b, k)| GenOp::Bin { d, a, b, k }),
+        (r.clone(), r.clone(), -9i64..9, 0u8..16)
+            .prop_map(|(d, a, imm, k)| GenOp::BinImm { d, a, imm, k }),
+        (r.clone(), r.clone(), r.clone(), 0u8..7)
+            .prop_map(|(d, a, b, k)| GenOp::Cmp { d, a, b, k }),
+        (r.clone(), 0u8..8, prop::option::of(0u8..3), any::<bool>())
+            .prop_map(|(d, off, region, affine)| GenOp::Load { d, off, region, affine }),
+        (r, 0u8..8, prop::option::of(0u8..3))
+            .prop_map(|(s, off, region)| GenOp::Store { s, off, region }),
+    ]
+}
+
+fn build(ops: &[GenOp], mem_seed: &[i64]) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.function("main");
+    let e = f.entry_block();
+    let tail = f.block("tail");
+    let regs: Vec<_> = (0..REGS).map(|_| f.reg()).collect();
+    let base = f.reg();
+    f.switch_to(e);
+    f.iconst(base, 8);
+    for (k, &r) in regs.iter().enumerate() {
+        f.iconst(r, k as i64);
+    }
+    for op in ops {
+        match *op {
+            GenOp::Const { d, v } => {
+                f.iconst(regs[d as usize], v);
+            }
+            GenOp::Un { d, a, k } => {
+                let uns = [UnOp::Mov, UnOp::Neg, UnOp::Not, UnOp::IntToFloat, UnOp::FloatToInt];
+                f.unary(regs[d as usize], uns[k as usize % 5], regs[a as usize]);
+            }
+            GenOp::Bin { d, a, b, k } => {
+                use BinOp::*;
+                let bins = [
+                    Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr, Min, Max, FAdd, FSub,
+                    FMul, FDiv,
+                ];
+                f.binary(
+                    regs[d as usize],
+                    bins[k as usize % bins.len()],
+                    regs[a as usize],
+                    regs[b as usize],
+                );
+            }
+            GenOp::BinImm { d, a, imm, k } => {
+                use BinOp::*;
+                let bins = [
+                    Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr, Min, Max, FAdd, FSub,
+                    FMul, FDiv,
+                ];
+                f.binary(
+                    regs[d as usize],
+                    bins[k as usize % bins.len()],
+                    regs[a as usize],
+                    imm,
+                );
+            }
+            GenOp::Cmp { d, a, b, k } => {
+                use CmpOp::*;
+                let cmps = [Eq, Ne, Lt, Le, Gt, Ge, FLt];
+                f.cmp(
+                    regs[d as usize],
+                    cmps[k as usize % cmps.len()],
+                    regs[a as usize],
+                    regs[b as usize],
+                );
+            }
+            GenOp::Load { d, off, region, affine } => {
+                let mem = MemInfo {
+                    region: region.map(|r| RegionId(r as u32)),
+                    affine: affine.then_some(dswp_ir::op::Affine {
+                        iv: 0,
+                        stride: 1,
+                        phase: off as i64,
+                    }),
+                };
+                f.load_mem(regs[d as usize], base, off as i64, mem);
+            }
+            GenOp::Store { s, off, region } => {
+                let mem = MemInfo {
+                    region: region.map(|r| RegionId(r as u32)),
+                    affine: None,
+                };
+                f.store_mem(regs[s as usize], base, off as i64, mem);
+            }
+        }
+    }
+    f.jump(tail);
+    f.switch_to(tail);
+    let out = f.reg();
+    f.iconst(out, 0);
+    for (k, &r) in regs.iter().enumerate() {
+        f.store(r, out, k as i64);
+    }
+    f.halt();
+    let main = f.finish();
+    let mut memory = vec![0i64; MEM];
+    for (k, slot) in memory.iter_mut().enumerate().skip(8) {
+        *slot = mem_seed[k % mem_seed.len()];
+    }
+    pb.finish_with_memory(main, memory)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    #[test]
+    fn text_round_trip_is_a_fixed_point_and_preserves_behavior(
+        ops in prop::collection::vec(gen_op(), 1..24),
+        mem_seed in prop::collection::vec(-1000i64..1000, 1..6),
+    ) {
+        let p = build(&ops, &mem_seed);
+        verify_program(&p).expect("generated program verifies");
+        let text = to_text(&p);
+        let q = parse_program(&text).expect("round-trip parses");
+        verify_program(&q).expect("parsed program verifies");
+        prop_assert_eq!(to_text(&q), text, "fixed point");
+
+        let a = Interpreter::new(&p).run().expect("original runs");
+        let b = Interpreter::new(&q).run().expect("reparsed runs");
+        prop_assert_eq!(a.memory, b.memory);
+        prop_assert_eq!(a.steps, b.steps);
+        prop_assert_eq!(a.entry_regs, b.entry_regs);
+    }
+}

@@ -1,0 +1,200 @@
+//! A small set-associative cache model (per-core L1D over a shared L2).
+//!
+//! Only load latency is modeled (stores are assumed write-buffered, as on
+//! Itanium 2); no coherence traffic is simulated, matching the paper's
+//! methodology (Section 4.2 analyzes sharing offline instead — see
+//! [`crate::sharing`]).
+
+use crate::config::CacheConfig;
+
+/// One set-associative cache level with LRU replacement.
+#[derive(Clone, Debug)]
+struct Level {
+    sets: usize,
+    assoc: usize,
+    line_words: usize,
+    /// `tags[set * assoc + way]`: line address, `u64::MAX` = invalid.
+    tags: Vec<u64>,
+    /// LRU stamps parallel to `tags`.
+    stamps: Vec<u64>,
+    clock: u64,
+}
+
+impl Level {
+    fn new(words: usize, assoc: usize, line_words: usize) -> Self {
+        let lines = (words / line_words).max(assoc);
+        let sets = (lines / assoc).max(1);
+        Level {
+            sets,
+            assoc,
+            line_words,
+            tags: vec![u64::MAX; sets * assoc],
+            stamps: vec![0; sets * assoc],
+            clock: 0,
+        }
+    }
+
+    /// Accesses `addr` (word address); returns whether it hit, and installs
+    /// the line.
+    fn access(&mut self, addr: u64) -> bool {
+        self.clock += 1;
+        let line = addr / self.line_words as u64;
+        let set = (line % self.sets as u64) as usize;
+        let base = set * self.assoc;
+        for way in 0..self.assoc {
+            if self.tags[base + way] == line {
+                self.stamps[base + way] = self.clock;
+                return true;
+            }
+        }
+        // Miss: replace LRU way.
+        let mut victim = 0;
+        for way in 1..self.assoc {
+            if self.stamps[base + way] < self.stamps[base + victim] {
+                victim = way;
+            }
+        }
+        self.tags[base + victim] = line;
+        self.stamps[base + victim] = self.clock;
+        false
+    }
+}
+
+/// Per-core load-latency statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Load accesses.
+    pub accesses: u64,
+    /// L1 hits.
+    pub l1_hits: u64,
+    /// L1 misses that hit L2.
+    pub l2_hits: u64,
+    /// Accesses that went to memory.
+    pub memory: u64,
+}
+
+impl CacheStats {
+    /// L1 miss rate in [0, 1].
+    pub fn l1_miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            1.0 - self.l1_hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// The cache hierarchy: one L1D per core, one shared L2.
+#[derive(Clone, Debug)]
+pub struct CacheModel {
+    config: CacheConfig,
+    l1: Vec<Level>,
+    l2: Level,
+    stats: Vec<CacheStats>,
+}
+
+impl CacheModel {
+    /// Builds the hierarchy for `cores` cores.
+    pub fn new(config: CacheConfig, cores: usize) -> Self {
+        CacheModel {
+            config,
+            l1: (0..cores)
+                .map(|_| Level::new(config.l1_words, config.l1_assoc, config.line_words))
+                .collect(),
+            l2: Level::new(config.l2_words, config.l2_assoc, config.line_words),
+            stats: vec![CacheStats::default(); cores],
+        }
+    }
+
+    /// Latency of a load from `core` at word `addr`.
+    pub fn load_latency(&mut self, core: usize, addr: u64) -> u64 {
+        let s = &mut self.stats[core];
+        s.accesses += 1;
+        if self.l1[core].access(addr) {
+            s.l1_hits += 1;
+            self.config.l1_hit
+        } else if self.l2.access(addr) {
+            s.l2_hits += 1;
+            self.config.l2_hit
+        } else {
+            s.memory += 1;
+            self.config.memory
+        }
+    }
+
+    /// Installs a stored line in the core's L1 (write-allocate, no latency).
+    pub fn store(&mut self, core: usize, addr: u64) {
+        self.l1[core].access(addr);
+        self.l2.access(addr);
+    }
+
+    /// Per-core statistics.
+    pub fn stats(&self) -> &[CacheStats] {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> CacheConfig {
+        CacheConfig {
+            l1_words: 32,
+            line_words: 4,
+            l1_assoc: 2,
+            l1_hit: 2,
+            l2_hit: 7,
+            l2_words: 128,
+            l2_assoc: 2,
+            memory: 100,
+            ..CacheConfig::default()
+        }
+    }
+
+    #[test]
+    fn repeated_access_hits_l1() {
+        let mut c = CacheModel::new(tiny_config(), 1);
+        assert_eq!(c.load_latency(0, 8), 100); // cold miss to memory
+        assert_eq!(c.load_latency(0, 8), 2); // now in L1
+        assert_eq!(c.load_latency(0, 9), 2); // same line
+        assert_eq!(c.stats()[0].accesses, 3);
+        assert_eq!(c.stats()[0].l1_hits, 2);
+    }
+
+    #[test]
+    fn capacity_eviction_falls_back_to_l2() {
+        let mut c = CacheModel::new(tiny_config(), 1);
+        // Touch enough distinct lines to overflow L1 (8 lines capacity).
+        for i in 0..16u64 {
+            c.load_latency(0, i * 4);
+        }
+        // The first line was evicted from L1 but lives in L2.
+        let lat = c.load_latency(0, 0);
+        assert_eq!(lat, 7, "expected an L2 hit");
+    }
+
+    #[test]
+    fn per_core_l1s_are_private() {
+        let mut c = CacheModel::new(tiny_config(), 2);
+        c.load_latency(0, 8);
+        // Core 1 misses L1 but hits the shared L2.
+        assert_eq!(c.load_latency(1, 8), 7);
+    }
+
+    #[test]
+    fn stores_install_lines() {
+        let mut c = CacheModel::new(tiny_config(), 1);
+        c.store(0, 40);
+        assert_eq!(c.load_latency(0, 41), 2);
+    }
+
+    #[test]
+    fn miss_rate_computation() {
+        let mut c = CacheModel::new(tiny_config(), 1);
+        c.load_latency(0, 0);
+        c.load_latency(0, 0);
+        let s = c.stats()[0];
+        assert!((s.l1_miss_rate() - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,144 @@
+//! Machine configuration for the timing model.
+//!
+//! The defaults model the paper's evaluation platform (Section 4.2): an
+//! in-order Itanium 2-like core that issues up to 6 instructions per cycle,
+//! at most 4 of them M-type (memory or queue operations), connected to a
+//! synchronization array of 32-element queues with 1-cycle access latency.
+//! The *half-width* variant of Section 4.3 halves the fetch/dispersal
+//! width (and the M-ports with it).
+
+use dswp_ir::LatencyTable;
+
+/// Cache hierarchy parameters (per-core L1D plus a flat next level).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// L1D capacity in words.
+    pub l1_words: usize,
+    /// Line size in words.
+    pub line_words: usize,
+    /// L1D associativity.
+    pub l1_assoc: usize,
+    /// Latency of an L1 hit (overrides `LatencyTable::load` when the cache
+    /// model is enabled).
+    pub l1_hit: u64,
+    /// Latency of an L1 miss / L2 hit.
+    pub l2_hit: u64,
+    /// L2 capacity in words (shared).
+    pub l2_words: usize,
+    /// L2 associativity.
+    pub l2_assoc: usize,
+    /// Latency of an L2 miss (memory).
+    pub memory: u64,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            // 16 KB / 64 B lines → 2048 words of 8 bytes, 8 words per line.
+            l1_words: 2048,
+            line_words: 8,
+            l1_assoc: 4,
+            l1_hit: 2,
+            l2_hit: 7,
+            // 256 KB.
+            l2_words: 32768,
+            l2_assoc: 8,
+            memory: 120,
+        }
+    }
+}
+
+/// Full machine configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MachineConfig {
+    /// Instructions issued per cycle per core.
+    pub issue_width: usize,
+    /// M-type (memory + queue) issue slots per cycle per core.
+    pub m_ports: usize,
+    /// Per-opcode latencies.
+    pub latency: LatencyTable,
+    /// Cache hierarchy; `None` uses the flat `latency.load` for all loads.
+    pub cache: Option<CacheConfig>,
+    /// Synchronization-array queue capacity (elements per queue).
+    pub queue_capacity: usize,
+    /// Cycles for a produced value to become visible to the consumer
+    /// (Section 4.4 sweeps 1 / 10 / 50).
+    pub comm_latency: u64,
+    /// Front-end bubble after a taken branch.
+    pub taken_branch_bubble: u64,
+    /// Hard cycle limit (deadlock/runaway guard).
+    pub max_cycles: u64,
+    /// Sampling period for the occupancy timeline (cycles).
+    pub occupancy_sample_period: u64,
+    /// Record the full memory trace for the offline sharing analysis
+    /// ([`crate::sharing`]); costs memory proportional to the access count.
+    pub record_mem_trace: bool,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig::full_width()
+    }
+}
+
+impl MachineConfig {
+    /// The paper's baseline: full-width (6-issue) Itanium 2-like core.
+    pub fn full_width() -> Self {
+        MachineConfig {
+            issue_width: 6,
+            m_ports: 4,
+            latency: LatencyTable::default(),
+            cache: Some(CacheConfig::default()),
+            queue_capacity: 32,
+            comm_latency: 1,
+            taken_branch_bubble: 0,
+            max_cycles: 2_000_000_000,
+            occupancy_sample_period: 64,
+            record_mem_trace: false,
+        }
+    }
+
+    /// The half-width variant of Section 4.3 (half fetch/dispersal width).
+    pub fn half_width() -> Self {
+        MachineConfig {
+            issue_width: 3,
+            m_ports: 2,
+            ..MachineConfig::full_width()
+        }
+    }
+
+    /// Sets the inter-core communication latency (Figure 9(b)).
+    pub fn with_comm_latency(mut self, cycles: u64) -> Self {
+        self.comm_latency = cycles.max(1);
+        self
+    }
+
+    /// Sets the queue capacity (Section 4.4's 8 / 32 / 128 sweep).
+    pub fn with_queue_capacity(mut self, elements: usize) -> Self {
+        self.queue_capacity = elements.max(1);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_in_width_only() {
+        let full = MachineConfig::full_width();
+        let half = MachineConfig::half_width();
+        assert_eq!(full.issue_width, 6);
+        assert_eq!(half.issue_width, 3);
+        assert_eq!(half.m_ports, 2);
+        assert_eq!(full.queue_capacity, half.queue_capacity);
+    }
+
+    #[test]
+    fn builders_clamp_to_sane_values() {
+        let c = MachineConfig::full_width().with_comm_latency(0);
+        assert_eq!(c.comm_latency, 1);
+        let c = MachineConfig::full_width().with_queue_capacity(0);
+        assert_eq!(c.queue_capacity, 1);
+    }
+}

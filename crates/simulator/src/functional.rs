@@ -1,0 +1,483 @@
+//! A multi-context *functional* executor: exact semantics, no timing.
+//!
+//! Runs every hardware context round-robin, one instruction at a time, with
+//! unbounded FIFO queues. `consume` blocks while its queue is empty;
+//! `produce` never blocks. Used as the fast correctness oracle for
+//! DSWP-transformed programs: the observable result (final memory + main
+//! thread's entry-frame registers) must equal the single-threaded
+//! interpreter's result on the original program.
+//!
+//! Deadlock (every live context blocked on an empty queue) is detected and
+//! reported — a valid DSWP partitioning can never deadlock, so the oracle
+//! doubles as a pipeline-acyclicity check.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use dswp_ir::interp::{eval_binary, eval_cmp, eval_unary};
+use dswp_ir::{FuncId, Function, Op, Operand, Program};
+
+/// Errors raised by the functional executor.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecError {
+    /// A load or store addressed a word outside program memory.
+    MemoryOutOfBounds {
+        /// Faulting word address.
+        address: i64,
+        /// Memory size in words.
+        size: usize,
+    },
+    /// Every live context is blocked on an empty queue.
+    Deadlock {
+        /// Contexts still alive (not halted) at deadlock.
+        live_threads: Vec<usize>,
+    },
+    /// An indirect call target was not a valid function id.
+    BadIndirectTarget(i64),
+    /// The step limit was exceeded.
+    StepLimit(u64),
+    /// `ret` with an empty call stack.
+    ReturnFromEntry(usize),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::MemoryOutOfBounds { address, size } => {
+                write!(f, "memory access at word {address} out of bounds (size {size})")
+            }
+            ExecError::Deadlock { live_threads } => {
+                write!(f, "deadlock: threads {live_threads:?} all blocked on empty queues")
+            }
+            ExecError::BadIndirectTarget(v) => {
+                write!(f, "indirect call target {v} is not a valid function id")
+            }
+            ExecError::StepLimit(n) => write!(f, "step limit of {n} instructions exceeded"),
+            ExecError::ReturnFromEntry(t) => {
+                write!(f, "thread {t} returned from its entry function")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Observable result of a functional multi-context run.
+#[derive(Clone, Debug)]
+pub struct ExecResult {
+    /// Final shared memory.
+    pub memory: Vec<i64>,
+    /// Registers of the main thread's entry frame at halt.
+    pub entry_regs: Vec<i64>,
+    /// Instructions executed per context.
+    pub steps: Vec<u64>,
+    /// Maximum number of values simultaneously buffered in any queue
+    /// (a decoupling measure; the paper reports occupancies up to
+    /// thousands of instructions, Section 2).
+    pub max_queue_occupancy: usize,
+}
+
+struct Frame {
+    func: FuncId,
+    regs: Vec<i64>,
+    block: dswp_ir::BlockId,
+    index: usize,
+}
+
+struct Context {
+    stack: Vec<Frame>,
+    halted: bool,
+}
+
+/// Multi-context functional executor.
+#[derive(Debug)]
+pub struct Executor<'p> {
+    program: &'p Program,
+    step_limit: u64,
+}
+
+impl<'p> Executor<'p> {
+    /// Creates an executor over `program`.
+    pub fn new(program: &'p Program) -> Self {
+        Executor {
+            program,
+            step_limit: 500_000_000,
+        }
+    }
+
+    /// Overrides the total step limit.
+    pub fn with_step_limit(mut self, limit: u64) -> Self {
+        self.step_limit = limit;
+        self
+    }
+
+    /// Runs all contexts to completion.
+    ///
+    /// The run ends when every context halts — DSWP auxiliary threads
+    /// receive the terminate sentinel produced before the main thread's
+    /// `halt` (Section 3 of the paper), so they halt shortly after it.
+    /// A context still blocked on an empty queue after the main context has
+    /// halted is treated as parked and the run completes; if the *main*
+    /// context is among the blocked, the run is a deadlock.
+    ///
+    /// # Errors
+    ///
+    /// See [`ExecError`].
+    pub fn run(&self) -> Result<ExecResult, ExecError> {
+        let program = self.program;
+        let mut memory = program.initial_memory.clone();
+        let mut queues: Vec<VecDeque<i64>> =
+            (0..program.num_queues).map(|_| VecDeque::new()).collect();
+        let mut max_occ = 0usize;
+
+        let mut contexts: Vec<Context> = program
+            .thread_entries()
+            .iter()
+            .map(|&entry| Context {
+                stack: vec![new_frame(program.function(entry), entry)],
+                halted: false,
+            })
+            .collect();
+        let mut steps = vec![0u64; contexts.len()];
+        let mut total_steps = 0u64;
+
+        loop {
+            let mut any_progress = false;
+            for t in 0..contexts.len() {
+                // Run each context until it blocks, halts, or exhausts a
+                // small quantum (keeps round-robin fair yet fast).
+                let mut quantum = 128;
+                while quantum > 0 && !contexts[t].halted {
+                    quantum -= 1;
+                    if total_steps >= self.step_limit {
+                        return Err(ExecError::StepLimit(self.step_limit));
+                    }
+                    match step(
+                        program,
+                        &mut contexts[t],
+                        &mut memory,
+                        &mut queues,
+                        t,
+                    )? {
+                        StepOutcome::Progress => {
+                            steps[t] += 1;
+                            total_steps += 1;
+                            any_progress = true;
+                            let occ = queues.iter().map(VecDeque::len).max().unwrap_or(0);
+                            max_occ = max_occ.max(occ);
+                        }
+                        StepOutcome::Blocked => break,
+                        StepOutcome::Halted => {
+                            contexts[t].halted = true;
+                            any_progress = true;
+                        }
+                    }
+                }
+            }
+            if contexts.iter().all(|c| c.halted) {
+                break;
+            }
+            if !any_progress {
+                if contexts[0].halted {
+                    // Remaining contexts are parked on empty queues with no
+                    // producer left; the program is done.
+                    break;
+                }
+                let live: Vec<usize> = contexts
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| !c.halted)
+                    .map(|(i, _)| i)
+                    .collect();
+                return Err(ExecError::Deadlock { live_threads: live });
+            }
+        }
+
+        let entry_regs = contexts[0]
+            .stack
+            .first()
+            .map(|f| f.regs.clone())
+            .unwrap_or_default();
+        Ok(ExecResult {
+            memory,
+            entry_regs,
+            steps,
+            max_queue_occupancy: max_occ,
+        })
+    }
+}
+
+enum StepOutcome {
+    Progress,
+    Blocked,
+    Halted,
+}
+
+fn new_frame(f: &Function, id: FuncId) -> Frame {
+    Frame {
+        func: id,
+        regs: vec![0; f.num_regs() as usize],
+        block: f.entry(),
+        index: 0,
+    }
+}
+
+fn step(
+    program: &Program,
+    ctx: &mut Context,
+    memory: &mut [i64],
+    queues: &mut [VecDeque<i64>],
+    thread: usize,
+) -> Result<StepOutcome, ExecError> {
+    let frame = ctx.stack.last_mut().expect("live context has a frame");
+    let func = program.function(frame.func);
+    let instr = func.block(frame.block).instrs()[frame.index];
+    let op = func.op(instr);
+
+    let read = |o: Operand, regs: &[i64]| -> i64 {
+        match o {
+            Operand::Reg(r) => regs[r.index()],
+            Operand::Imm(v) => v,
+        }
+    };
+
+    match *op {
+        Op::Const { dst, value } => {
+            frame.regs[dst.index()] = value;
+            frame.index += 1;
+        }
+        Op::Unary { dst, op, src } => {
+            let v = read(src, &frame.regs);
+            frame.regs[dst.index()] = eval_unary(op, v);
+            frame.index += 1;
+        }
+        Op::Binary { dst, op, lhs, rhs } => {
+            let (a, b) = (read(lhs, &frame.regs), read(rhs, &frame.regs));
+            frame.regs[dst.index()] = eval_binary(op, a, b);
+            frame.index += 1;
+        }
+        Op::Cmp { dst, op, lhs, rhs } => {
+            let (a, b) = (read(lhs, &frame.regs), read(rhs, &frame.regs));
+            frame.regs[dst.index()] = eval_cmp(op, a, b);
+            frame.index += 1;
+        }
+        Op::Load {
+            dst, addr, offset, ..
+        } => {
+            let a = frame.regs[addr.index()].wrapping_add(offset);
+            let v = usize::try_from(a)
+                .ok()
+                .and_then(|x| memory.get(x).copied())
+                .ok_or(ExecError::MemoryOutOfBounds {
+                    address: a,
+                    size: memory.len(),
+                })?;
+            frame.regs[dst.index()] = v;
+            frame.index += 1;
+        }
+        Op::Store {
+            src, addr, offset, ..
+        } => {
+            let v = read(src, &frame.regs);
+            let a = frame.regs[addr.index()].wrapping_add(offset);
+            let size = memory.len();
+            let slot = usize::try_from(a)
+                .ok()
+                .and_then(|x| memory.get_mut(x))
+                .ok_or(ExecError::MemoryOutOfBounds { address: a, size })?;
+            *slot = v;
+            frame.index += 1;
+        }
+        Op::Call { callee } => {
+            frame.index += 1;
+            let callee_fn = program.function(callee);
+            ctx.stack.push(new_frame(callee_fn, callee));
+        }
+        Op::CallInd { target } => {
+            let v = frame.regs[target.index()];
+            if v < 0 {
+                return Ok(StepOutcome::Halted);
+            }
+            let idx = usize::try_from(v)
+                .ok()
+                .filter(|&i| i < program.functions().len())
+                .ok_or(ExecError::BadIndirectTarget(v))?;
+            frame.index += 1;
+            let callee = FuncId::from_index(idx);
+            ctx.stack.push(new_frame(program.function(callee), callee));
+        }
+        Op::Br { cond, then_, else_ } => {
+            frame.block = if frame.regs[cond.index()] != 0 {
+                then_
+            } else {
+                else_
+            };
+            frame.index = 0;
+        }
+        Op::Jump { target } => {
+            frame.block = target;
+            frame.index = 0;
+        }
+        Op::Ret => {
+            if ctx.stack.len() == 1 {
+                return Err(ExecError::ReturnFromEntry(thread));
+            }
+            ctx.stack.pop();
+        }
+        Op::Halt => return Ok(StepOutcome::Halted),
+        Op::Produce { queue, src } => {
+            let v = read(src, &frame.regs);
+            queues[queue.index()].push_back(v);
+            frame.index += 1;
+        }
+        Op::Consume { queue, dst } => {
+            let Some(v) = queues[queue.index()].pop_front() else {
+                return Ok(StepOutcome::Blocked);
+            };
+            frame.regs[dst.index()] = v;
+            frame.index += 1;
+        }
+        Op::ProduceToken { queue } => {
+            queues[queue.index()].push_back(0);
+            frame.index += 1;
+        }
+        Op::ConsumeToken { queue } => {
+            if queues[queue.index()].pop_front().is_none() {
+                return Ok(StepOutcome::Blocked);
+            }
+            frame.index += 1;
+        }
+        Op::Nop => {
+            frame.index += 1;
+        }
+    }
+    Ok(StepOutcome::Progress)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dswp_ir::{ProgramBuilder, QueueId};
+
+    /// Two threads: thread 0 produces 0..n, thread 1 sums and stores,
+    /// thread 0 then reads the result back through a second queue.
+    fn ping_pong(n: i64) -> Program {
+        let mut pb = ProgramBuilder::new();
+
+        let q_data = QueueId(0);
+        let q_done = QueueId(1);
+
+        let mut f = pb.function("producer");
+        let e = f.entry_block();
+        let header = f.block("header");
+        let body = f.block("body");
+        let tail = f.block("tail");
+        let (i, lim, done, res, base) = (f.reg(), f.reg(), f.reg(), f.reg(), f.reg());
+        f.switch_to(e);
+        f.iconst(i, 0);
+        f.iconst(lim, n);
+        f.iconst(base, 0);
+        f.jump(header);
+        f.switch_to(header);
+        f.cmp_ge(done, i, lim);
+        f.br(done, tail, body);
+        f.switch_to(body);
+        f.produce(q_data, i);
+        f.add(i, i, 1);
+        f.jump(header);
+        f.switch_to(tail);
+        f.produce(q_data, -1);
+        f.consume(res, q_done);
+        f.store(res, base, 0);
+        f.halt();
+        let producer = f.finish();
+
+        let mut g = pb.function("consumer");
+        let e2 = g.entry_block();
+        let loop_ = g.block("loop");
+        let acc_b = g.block("accumulate");
+        let fin = g.block("fin");
+        let (v, sum, neg) = (g.reg(), g.reg(), g.reg());
+        g.switch_to(e2);
+        g.iconst(sum, 0);
+        g.jump(loop_);
+        g.switch_to(loop_);
+        g.consume(v, q_data);
+        g.cmp_lt(neg, v, 0);
+        g.br(neg, fin, acc_b);
+        g.switch_to(acc_b);
+        g.add(sum, sum, v);
+        g.jump(loop_);
+        g.switch_to(fin);
+        g.produce(q_done, sum);
+        g.halt();
+        let consumer = g.finish();
+
+        let mut p = pb.finish(producer, 4);
+        p.num_queues = 2;
+        p.add_thread(consumer);
+        p
+    }
+
+    #[test]
+    fn two_threads_communicate_through_queues() {
+        let p = ping_pong(100);
+        let r = Executor::new(&p).run().unwrap();
+        assert_eq!(r.memory[0], 4950);
+        assert!(r.steps[0] > 0 && r.steps[1] > 0);
+        assert!(r.max_queue_occupancy >= 1);
+    }
+
+    #[test]
+    fn deadlock_is_detected() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let e = f.entry_block();
+        let r = f.reg();
+        f.switch_to(e);
+        f.consume(r, QueueId(0));
+        f.halt();
+        let main = f.finish();
+        let mut p = pb.finish(main, 0);
+        p.num_queues = 1;
+        let err = Executor::new(&p).run().unwrap_err();
+        assert!(matches!(err, ExecError::Deadlock { .. }));
+    }
+
+    #[test]
+    fn run_ends_when_main_halts_even_if_aux_parks() {
+        // Aux thread blocks forever on an empty queue (like a master loop
+        // waiting for work); the run still completes when main halts.
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let e = f.entry_block();
+        f.switch_to(e);
+        f.halt();
+        let main = f.finish();
+        let mut g = pb.function("parked");
+        let e2 = g.entry_block();
+        let r = g.reg();
+        g.switch_to(e2);
+        g.consume(r, QueueId(0));
+        g.halt();
+        let parked = g.finish();
+        let mut p = pb.finish(main, 0);
+        p.num_queues = 1;
+        p.add_thread(parked);
+        let res = Executor::new(&p).run().unwrap();
+        assert_eq!(res.steps[1], 0);
+    }
+
+    #[test]
+    fn step_limit_guards_runaways() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let e = f.entry_block();
+        f.switch_to(e);
+        f.jump(e);
+        let main = f.finish();
+        let p = pb.finish(main, 0);
+        let err = Executor::new(&p).with_step_limit(1_000).run().unwrap_err();
+        assert_eq!(err, ExecError::StepLimit(1000));
+    }
+}

@@ -1,0 +1,28 @@
+//! A deterministic chip-multiprocessor model for the DSWP reproduction.
+//!
+//! Two execution engines over `dswp-ir` programs:
+//!
+//! * [`functional::Executor`] — exact multi-context semantics with
+//!   unbounded queues and deadlock detection; the fast correctness oracle;
+//! * [`machine::Machine`] — the cycle-level timing model: in-order
+//!   multi-issue cores (Itanium 2-flavored), a two-level cache model, and
+//!   the blocking *synchronization array* queues of the paper (Rangan et
+//!   al.'s mechanism, Section 2.1/4.2), with per-cycle occupancy statistics
+//!   for the paper's Figures 7 and 8.
+//!
+//! Everything is single-OS-thread and deterministic: simulated hardware
+//! contexts are data structures, not OS threads.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod config;
+pub mod functional;
+pub mod machine;
+pub mod sharing;
+
+pub use cache::{CacheModel, CacheStats};
+pub use config::{CacheConfig, MachineConfig};
+pub use functional::{ExecError, ExecResult, Executor};
+pub use machine::{CoreStats, Machine, OccupancyStats, SimError, SimResult};

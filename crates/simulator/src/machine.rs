@@ -1,0 +1,964 @@
+//! The cycle-level CMP timing model.
+//!
+//! A deterministic, cycle-driven simulation of `N` in-order multi-issue
+//! cores (one per program hardware context) connected through the
+//! synchronization array (Section 2.1 / 4.2 of the paper):
+//!
+//! * per-cycle in-order issue of up to `issue_width` instructions, at most
+//!   `m_ports` of them M-type (memory or queue), gated by a register
+//!   scoreboard;
+//! * per-opcode latencies from the [`LatencyTable`](dswp_ir::LatencyTable), with load latency from
+//!   the cache model when enabled;
+//! * `produce` blocks while its queue holds `queue_capacity` entries and
+//!   makes the value visible `comm_latency` cycles later; `consume` blocks
+//!   while no visible entry exists and delivers in one cycle — the paper's
+//!   blocking-queue semantics;
+//! * control transfers pay a front-end redirect bubble.
+//!
+//! Execution is *execute-at-issue*: values are computed functionally when
+//! an instruction issues; timing constraints (scoreboard + queue
+//! visibility) guarantee cross-core ordering matches the dependences, so
+//! the simulation is also a correct functional execution.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+
+use dswp_ir::interp::{eval_binary, eval_cmp, eval_unary};
+use dswp_ir::{FuncId, Function, LatencyClass, Op, Operand, Program};
+
+use crate::cache::{CacheModel, CacheStats};
+use crate::config::MachineConfig;
+use crate::sharing::Access;
+
+/// Errors raised by the timing model.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// Out-of-bounds memory access.
+    MemoryOutOfBounds {
+        /// Faulting word address.
+        address: i64,
+        /// Memory size in words.
+        size: usize,
+    },
+    /// Invalid indirect call target.
+    BadIndirectTarget(i64),
+    /// No core made progress for a long window — a queue deadlock.
+    Deadlock {
+        /// Cycle at which the deadlock was declared.
+        cycle: u64,
+    },
+    /// The configured cycle limit was reached.
+    CycleLimit(u64),
+    /// `ret` with an empty call stack.
+    ReturnFromEntry(usize),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::MemoryOutOfBounds { address, size } => {
+                write!(f, "memory access at word {address} out of bounds (size {size})")
+            }
+            SimError::BadIndirectTarget(v) => {
+                write!(f, "indirect call target {v} is not a valid function id")
+            }
+            SimError::Deadlock { cycle } => write!(f, "deadlock detected at cycle {cycle}"),
+            SimError::CycleLimit(c) => write!(f, "cycle limit of {c} reached"),
+            SimError::ReturnFromEntry(t) => {
+                write!(f, "core {t} returned from its entry function")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Why a core issued nothing in a given cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum StallReason {
+    /// Waiting on a source register (scoreboard).
+    Data,
+    /// Blocked consuming from an empty queue.
+    QueueEmpty,
+    /// Blocked producing to a full queue.
+    QueueFull,
+    /// Front-end redirect bubble.
+    FrontEnd,
+    /// Structural (M-port) conflict.
+    Structural,
+}
+
+/// Per-core statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CoreStats {
+    /// All retired instructions.
+    pub retired: u64,
+    /// Retired `produce`/`consume`/token instructions.
+    pub queue_ops: u64,
+    /// Cycles in which nothing issued, waiting on a source register.
+    pub stall_data: u64,
+    /// Cycles blocked on an empty queue.
+    pub stall_queue_empty: u64,
+    /// Cycles blocked on a full queue.
+    pub stall_queue_full: u64,
+    /// Front-end bubble cycles.
+    pub stall_frontend: u64,
+    /// Structural-hazard cycles.
+    pub stall_structural: u64,
+    /// Cycles before this core halted.
+    pub active_cycles: u64,
+}
+
+impl CoreStats {
+    /// Instructions (excluding queue operations) per cycle over the whole
+    /// run, the metric of Figure 6(b) ("these IPC numbers do not include
+    /// the produce and consume instructions inserted by DSWP").
+    pub fn ipc(&self, cycles: u64) -> f64 {
+        if cycles == 0 {
+            0.0
+        } else {
+            (self.retired - self.queue_ops) as f64 / cycles as f64
+        }
+    }
+}
+
+/// Per-cycle classification of the synchronization array, the categories of
+/// the paper's Figure 8.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OccupancyClasses {
+    /// Some queue full and its producer stalled on it.
+    pub full_producer_stalled: u64,
+    /// All relevant queues empty and a consumer stalled.
+    pub empty_consumer_stalled: u64,
+    /// Queues empty but both/all cores made progress.
+    pub empty_both_active: u64,
+    /// Data buffered and both/all cores made progress.
+    pub balanced_both_active: u64,
+}
+
+/// Synchronization-array occupancy statistics.
+#[derive(Clone, Debug, Default)]
+pub struct OccupancyStats {
+    /// Cycle-count histogram keyed by total buffered entries.
+    pub histogram: BTreeMap<usize, u64>,
+    /// Periodic samples `(cycle, total occupancy)` for trace plots
+    /// (Figure 7).
+    pub timeline: Vec<(u64, usize)>,
+    /// Figure 8 classification.
+    pub classes: OccupancyClasses,
+}
+
+impl OccupancyStats {
+    /// Mean total occupancy over the run.
+    pub fn mean(&self) -> f64 {
+        let (mut sum, mut n) = (0f64, 0f64);
+        for (&occ, &cycles) in &self.histogram {
+            sum += occ as f64 * cycles as f64;
+            n += cycles as f64;
+        }
+        if n == 0.0 {
+            0.0
+        } else {
+            sum / n
+        }
+    }
+
+    /// Maximum observed total occupancy.
+    pub fn max(&self) -> usize {
+        self.histogram.keys().next_back().copied().unwrap_or(0)
+    }
+}
+
+/// The result of a timing-model run.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// Cycles until the main core halted.
+    pub cycles: u64,
+    /// Final shared memory.
+    pub memory: Vec<i64>,
+    /// Main core's entry-frame registers at halt.
+    pub entry_regs: Vec<i64>,
+    /// Per-core statistics.
+    pub cores: Vec<CoreStats>,
+    /// Queue occupancy statistics.
+    pub occupancy: OccupancyStats,
+    /// Per-core cache statistics (empty when the cache model is disabled).
+    pub cache: Vec<CacheStats>,
+    /// Memory trace (empty unless `record_mem_trace` was set).
+    pub mem_trace: Vec<Access>,
+}
+
+struct TFrame {
+    func: FuncId,
+    regs: Vec<i64>,
+    ready: Vec<u64>,
+    block: dswp_ir::BlockId,
+    index: usize,
+}
+
+struct Core {
+    stack: Vec<TFrame>,
+    halted: bool,
+    next_issue: u64,
+    stats: CoreStats,
+}
+
+struct QueueState {
+    entries: VecDeque<(i64, u64)>,
+}
+
+/// The CMP timing model.
+#[derive(Debug)]
+pub struct Machine<'p> {
+    program: &'p Program,
+    config: MachineConfig,
+}
+
+impl<'p> Machine<'p> {
+    /// Creates a machine for `program` under `config`.
+    pub fn new(program: &'p Program, config: MachineConfig) -> Self {
+        Machine { program, config }
+    }
+
+    /// Runs the program to completion (main core halt).
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`].
+    pub fn run(&self) -> Result<SimResult, SimError> {
+        let program = self.program;
+        let cfg = &self.config;
+        let num_cores = program.num_threads();
+        let mut memory = program.initial_memory.clone();
+        let mut queues: Vec<QueueState> = (0..program.num_queues)
+            .map(|_| QueueState {
+                entries: VecDeque::new(),
+            })
+            .collect();
+        let mut cache = cfg.cache.map(|cc| CacheModel::new(cc, num_cores));
+        let mut cores: Vec<Core> = program
+            .thread_entries()
+            .iter()
+            .map(|&e| Core {
+                stack: vec![new_frame(program.function(e), e)],
+                halted: false,
+                next_issue: 0,
+                stats: CoreStats::default(),
+            })
+            .collect();
+
+        let mut occupancy = OccupancyStats::default();
+        let mut mem_trace: Vec<Access> = Vec::new();
+        let mut cycle: u64 = 0;
+        let mut last_progress: u64 = 0;
+        let deadlock_window: u64 = 50_000 + cfg.comm_latency * 64;
+
+        while !cores.iter().all(|c| c.halted) {
+            if cycle >= cfg.max_cycles {
+                return Err(SimError::CycleLimit(cfg.max_cycles));
+            }
+            if cycle.saturating_sub(last_progress) > deadlock_window {
+                if cores[0].halted {
+                    // Remaining cores are parked on empty queues with no
+                    // producer left; the program is done.
+                    break;
+                }
+                return Err(SimError::Deadlock { cycle });
+            }
+
+            let mut stall_flags = [false; 3]; // [full-stall, empty-stall, any-issue]
+            for c in 0..num_cores {
+                if cores[c].halted {
+                    continue;
+                }
+                cores[c].stats.active_cycles += 1;
+                match issue_cycle(
+                    program,
+                    cfg,
+                    &mut cores[c],
+                    &mut memory,
+                    &mut queues,
+                    cache.as_mut(),
+                    if cfg.record_mem_trace { Some(&mut mem_trace) } else { None },
+                    c,
+                    cycle,
+                )? {
+                    CycleOutcome::Issued(n) => {
+                        debug_assert!(n > 0);
+                        stall_flags[2] = true;
+                        last_progress = cycle;
+                    }
+                    CycleOutcome::Stalled(StallReason::QueueFull) => {
+                        cores[c].stats.stall_queue_full += 1;
+                        stall_flags[0] = true;
+                    }
+                    CycleOutcome::Stalled(StallReason::QueueEmpty) => {
+                        cores[c].stats.stall_queue_empty += 1;
+                        stall_flags[1] = true;
+                    }
+                    CycleOutcome::Stalled(r) => {
+                        match r {
+                            StallReason::Data => cores[c].stats.stall_data += 1,
+                            StallReason::FrontEnd => cores[c].stats.stall_frontend += 1,
+                            StallReason::Structural => cores[c].stats.stall_structural += 1,
+                            _ => unreachable!(),
+                        }
+                        stall_flags[2] = true; // making forward progress soon
+                    }
+                }
+            }
+
+            // Occupancy bookkeeping.
+            let occ: usize = queues.iter().map(|q| q.entries.len()).sum();
+            *occupancy.histogram.entry(occ).or_insert(0) += 1;
+            if cycle % cfg.occupancy_sample_period == 0 {
+                occupancy.timeline.push((cycle, occ));
+            }
+            let cls = &mut occupancy.classes;
+            if stall_flags[0] {
+                cls.full_producer_stalled += 1;
+            } else if stall_flags[1] {
+                cls.empty_consumer_stalled += 1;
+            } else if occ == 0 {
+                cls.empty_both_active += 1;
+            } else {
+                cls.balanced_both_active += 1;
+            }
+
+            cycle += 1;
+        }
+
+        let entry_regs = cores[0]
+            .stack
+            .first()
+            .map(|f| f.regs.clone())
+            .unwrap_or_default();
+        Ok(SimResult {
+            cycles: cycle,
+            memory,
+            entry_regs,
+            cores: cores.into_iter().map(|c| c.stats).collect(),
+            occupancy,
+            cache: cache.map(|c| c.stats().to_vec()).unwrap_or_default(),
+            mem_trace,
+        })
+    }
+}
+
+enum CycleOutcome {
+    Issued(usize),
+    Stalled(StallReason),
+}
+
+fn new_frame(f: &Function, id: FuncId) -> TFrame {
+    TFrame {
+        func: id,
+        regs: vec![0; f.num_regs() as usize],
+        ready: vec![0; f.num_regs() as usize],
+        block: f.entry(),
+        index: 0,
+    }
+}
+
+/// Issues as many instructions as the cycle allows on one core.
+#[allow(clippy::too_many_arguments)]
+fn issue_cycle(
+    program: &Program,
+    cfg: &MachineConfig,
+    core: &mut Core,
+    memory: &mut [i64],
+    queues: &mut [QueueState],
+    mut cache: Option<&mut CacheModel>,
+    mut trace: Option<&mut Vec<Access>>,
+    core_id: usize,
+    cycle: u64,
+) -> Result<CycleOutcome, SimError> {
+    if cycle < core.next_issue {
+        return Ok(CycleOutcome::Stalled(StallReason::FrontEnd));
+    }
+    let mut issued = 0usize;
+    let mut m_used = 0usize;
+    let mut first_block: Option<StallReason> = None;
+
+    'issue: while issued < cfg.issue_width {
+        let frame = core.stack.last_mut().expect("live core has a frame");
+        let func = program.function(frame.func);
+        let instr = func.block(frame.block).instrs()[frame.index];
+        let op = func.op(instr);
+
+        // Structural: M-port limit.
+        if op.is_m_type() && m_used >= cfg.m_ports {
+            first_block.get_or_insert(StallReason::Structural);
+            break 'issue;
+        }
+        // Scoreboard: all sources ready.
+        for u in op.uses() {
+            if frame.ready[u.index()] > cycle {
+                first_block.get_or_insert(StallReason::Data);
+                break 'issue;
+            }
+        }
+        // Queue availability.
+        match op {
+            Op::Consume { queue, .. } | Op::ConsumeToken { queue } => {
+                let q = &queues[queue.index()];
+                let visible = q
+                    .entries
+                    .front()
+                    .map(|&(_, vis)| vis <= cycle)
+                    .unwrap_or(false);
+                if !visible {
+                    first_block.get_or_insert(StallReason::QueueEmpty);
+                    break 'issue;
+                }
+            }
+            Op::Produce { queue, .. } | Op::ProduceToken { queue } => {
+                if queues[queue.index()].entries.len() >= cfg.queue_capacity {
+                    first_block.get_or_insert(StallReason::QueueFull);
+                    break 'issue;
+                }
+            }
+            _ => {}
+        }
+
+        // ---- issue: execute functionally, assign latency ----
+        let read = |o: Operand, regs: &[i64]| -> i64 {
+            match o {
+                Operand::Reg(r) => regs[r.index()],
+                Operand::Imm(v) => v,
+            }
+        };
+        let lat = cfg.latency.op(op);
+        let mut redirect = false;
+        match *op {
+            Op::Const { dst, value } => {
+                frame.regs[dst.index()] = value;
+                frame.ready[dst.index()] = cycle + lat;
+                frame.index += 1;
+            }
+            Op::Unary { dst, op: uop, src } => {
+                let v = read(src, &frame.regs);
+                frame.regs[dst.index()] = eval_unary(uop, v);
+                frame.ready[dst.index()] = cycle + lat;
+                frame.index += 1;
+            }
+            Op::Binary {
+                dst,
+                op: bop,
+                lhs,
+                rhs,
+            } => {
+                let (a, b) = (read(lhs, &frame.regs), read(rhs, &frame.regs));
+                frame.regs[dst.index()] = eval_binary(bop, a, b);
+                frame.ready[dst.index()] = cycle + lat;
+                frame.index += 1;
+            }
+            Op::Cmp {
+                dst,
+                op: cop,
+                lhs,
+                rhs,
+            } => {
+                let (a, b) = (read(lhs, &frame.regs), read(rhs, &frame.regs));
+                frame.regs[dst.index()] = eval_cmp(cop, a, b);
+                frame.ready[dst.index()] = cycle + lat;
+                frame.index += 1;
+            }
+            Op::Load {
+                dst, addr, offset, ..
+            } => {
+                let a = frame.regs[addr.index()].wrapping_add(offset);
+                let v = usize::try_from(a)
+                    .ok()
+                    .and_then(|x| memory.get(x).copied())
+                    .ok_or(SimError::MemoryOutOfBounds {
+                        address: a,
+                        size: memory.len(),
+                    })?;
+                let lat = match cache.as_deref_mut() {
+                    Some(c) => c.load_latency(core_id, a as u64),
+                    None => lat,
+                };
+                if let Some(t) = trace.as_deref_mut() {
+                    t.push(Access {
+                        core: core_id,
+                        cycle,
+                        addr: a as u64,
+                        write: false,
+                    });
+                }
+                frame.regs[dst.index()] = v;
+                frame.ready[dst.index()] = cycle + lat;
+                frame.index += 1;
+            }
+            Op::Store {
+                src, addr, offset, ..
+            } => {
+                let v = read(src, &frame.regs);
+                let a = frame.regs[addr.index()].wrapping_add(offset);
+                let size = memory.len();
+                let slot = usize::try_from(a)
+                    .ok()
+                    .and_then(|x| memory.get_mut(x))
+                    .ok_or(SimError::MemoryOutOfBounds { address: a, size })?;
+                *slot = v;
+                if let Some(c) = cache.as_deref_mut() {
+                    c.store(core_id, a as u64);
+                }
+                if let Some(t) = trace.as_deref_mut() {
+                    t.push(Access {
+                        core: core_id,
+                        cycle,
+                        addr: a as u64,
+                        write: true,
+                    });
+                }
+                frame.index += 1;
+            }
+            Op::Call { callee } => {
+                frame.index += 1;
+                core.stack.push(new_frame(program.function(callee), callee));
+                redirect = true;
+            }
+            Op::CallInd { target } => {
+                let v = frame.regs[target.index()];
+                if v < 0 {
+                    core.halted = true;
+                    core.stats.retired += 1;
+                    issued += 1;
+                    break 'issue;
+                }
+                let idx = usize::try_from(v)
+                    .ok()
+                    .filter(|&i| i < program.functions().len())
+                    .ok_or(SimError::BadIndirectTarget(v))?;
+                frame.index += 1;
+                let callee = FuncId::from_index(idx);
+                core.stack.push(new_frame(program.function(callee), callee));
+                redirect = true;
+            }
+            Op::Br { cond, then_, else_ } => {
+                frame.block = if frame.regs[cond.index()] != 0 {
+                    then_
+                } else {
+                    else_
+                };
+                frame.index = 0;
+                redirect = true;
+            }
+            Op::Jump { target } => {
+                frame.block = target;
+                frame.index = 0;
+                redirect = true;
+            }
+            Op::Ret => {
+                if core.stack.len() == 1 {
+                    return Err(SimError::ReturnFromEntry(core_id));
+                }
+                core.stack.pop();
+                redirect = true;
+            }
+            Op::Halt => {
+                core.halted = true;
+                core.stats.retired += 1;
+                issued += 1;
+                break 'issue;
+            }
+            Op::Produce { queue, src } => {
+                let v = read(src, &frame.regs);
+                queues[queue.index()]
+                    .entries
+                    .push_back((v, cycle + cfg.comm_latency));
+                core.stats.queue_ops += 1;
+                frame.index += 1;
+            }
+            Op::Consume { queue, dst } => {
+                let (v, _) = queues[queue.index()]
+                    .entries
+                    .pop_front()
+                    .expect("availability checked");
+                frame.regs[dst.index()] = v;
+                frame.ready[dst.index()] = cycle + cfg.latency.queue;
+                core.stats.queue_ops += 1;
+                frame.index += 1;
+            }
+            Op::ProduceToken { queue } => {
+                queues[queue.index()]
+                    .entries
+                    .push_back((0, cycle + cfg.comm_latency));
+                core.stats.queue_ops += 1;
+                frame.index += 1;
+            }
+            Op::ConsumeToken { queue } => {
+                queues[queue.index()]
+                    .entries
+                    .pop_front()
+                    .expect("availability checked");
+                core.stats.queue_ops += 1;
+                frame.index += 1;
+            }
+            Op::Nop => {
+                frame.index += 1;
+            }
+        }
+        if op.is_m_type() {
+            m_used += 1;
+        }
+        core.stats.retired += 1;
+        issued += 1;
+        if redirect {
+            core.next_issue = cycle + 1 + cfg.taken_branch_bubble;
+            break 'issue;
+        }
+        let _ = LatencyClass::Nop; // (silence unused-import lint paths)
+    }
+
+    if issued > 0 {
+        Ok(CycleOutcome::Issued(issued))
+    } else {
+        Ok(CycleOutcome::Stalled(
+            first_block.unwrap_or(StallReason::Data),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::functional::Executor;
+    use dswp_ir::{ProgramBuilder, QueueId};
+
+    fn sum_loop(n: i64) -> Program {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let e = f.entry_block();
+        let header = f.block("header");
+        let body = f.block("body");
+        let exit = f.block("exit");
+        let (i, sum, lim, done, base) = (f.reg(), f.reg(), f.reg(), f.reg(), f.reg());
+        f.switch_to(e);
+        f.iconst(i, 0);
+        f.iconst(sum, 0);
+        f.iconst(lim, n);
+        f.iconst(base, 0);
+        f.jump(header);
+        f.switch_to(header);
+        f.cmp_ge(done, i, lim);
+        f.br(done, exit, body);
+        f.switch_to(body);
+        f.add(sum, sum, i);
+        f.add(i, i, 1);
+        f.jump(header);
+        f.switch_to(exit);
+        f.store(sum, base, 0);
+        f.halt();
+        let main = f.finish();
+        pb.finish(main, 1)
+    }
+
+    #[test]
+    fn timing_model_matches_functional_semantics() {
+        let p = sum_loop(200);
+        let sim = Machine::new(&p, MachineConfig::full_width()).run().unwrap();
+        let fun = Executor::new(&p).run().unwrap();
+        assert_eq!(sim.memory, fun.memory);
+        assert!(sim.cycles > 0);
+        assert!(sim.cores[0].retired > 0);
+    }
+
+    #[test]
+    fn narrower_core_takes_more_cycles() {
+        let p = sum_loop(500);
+        let full = Machine::new(&p, MachineConfig::full_width()).run().unwrap();
+        let half = Machine::new(&p, MachineConfig::half_width()).run().unwrap();
+        assert!(half.cycles >= full.cycles);
+    }
+
+    #[test]
+    fn ipc_excludes_queue_ops() {
+        let stats = CoreStats {
+            retired: 100,
+            queue_ops: 40,
+            ..CoreStats::default()
+        };
+        assert!((stats.ipc(60) - 1.0).abs() < 1e-9);
+    }
+
+    fn queued_pair(capacity: usize, comm: u64) -> (Program, MachineConfig) {
+        // Thread 0 produces 1000 values; thread 1 consumes with a slow body.
+        let mut pb = ProgramBuilder::new();
+        let q = QueueId(0);
+
+        let mut f = pb.function("producer");
+        let e = f.entry_block();
+        let header = f.block("header");
+        let body = f.block("body");
+        let exit = f.block("exit");
+        let (i, lim, done) = (f.reg(), f.reg(), f.reg());
+        f.switch_to(e);
+        f.iconst(i, 0);
+        f.iconst(lim, 1000);
+        f.jump(header);
+        f.switch_to(header);
+        f.cmp_ge(done, i, lim);
+        f.br(done, exit, body);
+        f.switch_to(body);
+        f.produce(q, i);
+        f.add(i, i, 1);
+        f.jump(header);
+        f.switch_to(exit);
+        f.halt();
+        let producer = f.finish();
+
+        let mut g = pb.function("consumer");
+        let e2 = g.entry_block();
+        let header2 = g.block("header2");
+        let body2 = g.block("body2");
+        let exit2 = g.block("exit2");
+        let (j, lim2, done2, v, acc, base) =
+            (g.reg(), g.reg(), g.reg(), g.reg(), g.reg(), g.reg());
+        g.switch_to(e2);
+        g.iconst(j, 0);
+        g.iconst(lim2, 1000);
+        g.iconst(acc, 0);
+        g.iconst(base, 0);
+        g.jump(header2);
+        g.switch_to(header2);
+        g.cmp_ge(done2, j, lim2);
+        g.br(done2, exit2, body2);
+        g.switch_to(body2);
+        g.consume(v, q);
+        // Slow body: serial multiplies.
+        g.mul(acc, acc, 3);
+        g.mul(acc, acc, 5);
+        g.add(acc, acc, v);
+        g.add(j, j, 1);
+        g.jump(header2);
+        g.switch_to(exit2);
+        g.store(acc, base, 0);
+        g.halt();
+        let consumer = g.finish();
+
+        let mut p = pb.finish(producer, 1);
+        p.num_queues = 1;
+        p.add_thread(consumer);
+        let cfg = MachineConfig::full_width()
+            .with_queue_capacity(capacity)
+            .with_comm_latency(comm);
+        (p, cfg)
+    }
+
+    #[test]
+    fn producer_stalls_on_full_queue() {
+        let (p, cfg) = queued_pair(4, 1);
+        // NB: main = producer halts first; run until then.
+        let sim = Machine::new(&p, cfg).run().unwrap();
+        assert!(sim.cores[0].stall_queue_full > 0, "{:?}", sim.cores[0]);
+        assert!(sim.occupancy.classes.full_producer_stalled > 0);
+        assert!(sim.occupancy.max() <= 4);
+    }
+
+    #[test]
+    fn decoupling_grows_with_queue_capacity() {
+        let (p, cfg_small) = queued_pair(4, 1);
+        let small = Machine::new(&p, cfg_small).run().unwrap();
+        let (p2, cfg_big) = queued_pair(128, 1);
+        let big = Machine::new(&p2, cfg_big).run().unwrap();
+        assert!(big.occupancy.max() > small.occupancy.max());
+        // A fast producer in front of a slow consumer finishes earlier with
+        // deeper queues.
+        assert!(big.cycles <= small.cycles);
+    }
+
+    #[test]
+    fn deadlock_detection_fires() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let e = f.entry_block();
+        let r = f.reg();
+        f.switch_to(e);
+        f.consume(r, QueueId(0));
+        f.halt();
+        let main = f.finish();
+        let mut p = pb.finish(main, 0);
+        p.num_queues = 1;
+        let err = Machine::new(&p, MachineConfig::full_width()).run().unwrap_err();
+        assert!(matches!(err, SimError::Deadlock { .. }));
+    }
+
+    #[test]
+    fn comm_latency_delays_visibility() {
+        let (p, cfg1) = queued_pair(32, 1);
+        let r1 = Machine::new(&p, cfg1).run().unwrap();
+        let (p2, cfg50) = queued_pair(32, 50);
+        let r50 = Machine::new(&p2, cfg50).run().unwrap();
+        // The producer (main core) is insensitive; it only fills queues.
+        // But the consumer's first datum arrives 49 cycles later, which can
+        // only stretch its execution, never shrink the producer's.
+        assert!(r50.cycles >= r1.cycles);
+    }
+}
+
+#[cfg(test)]
+mod structural_tests {
+    use super::*;
+    use crate::config::MachineConfig;
+    use dswp_ir::ProgramBuilder;
+
+    /// Five independent loads in one block: with 4 M-ports at most four can
+    /// issue per cycle, so structural stalls must appear at 2 M-ports.
+    #[test]
+    fn m_port_limit_binds() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let e = f.entry_block();
+        let base = f.reg();
+        f.switch_to(e);
+        f.iconst(base, 0);
+        for k in 0..8 {
+            let d = f.reg();
+            f.load(d, base, k);
+        }
+        f.halt();
+        let main = f.finish();
+        let p = pb.finish(main, 8);
+
+        let mut full = MachineConfig::full_width();
+        full.cache = None; // flat load latency; isolate the port effect
+        let mut narrow = full.clone();
+        narrow.m_ports = 1;
+        let wide = Machine::new(&p, full).run().unwrap();
+        let tight = Machine::new(&p, narrow).run().unwrap();
+        assert!(
+            tight.cycles > wide.cycles,
+            "1 M-port {} !> 4 M-ports {}",
+            tight.cycles,
+            wide.cycles
+        );
+    }
+
+    /// An indirect call through a register holding a function id runs the
+    /// callee and returns.
+    #[test]
+    fn indirect_call_dispatches() {
+        let mut pb = ProgramBuilder::new();
+        let mut callee = pb.function("callee");
+        let ce = callee.entry_block();
+        let (b, v) = (callee.reg(), callee.reg());
+        callee.switch_to(ce);
+        callee.iconst(b, 0);
+        callee.iconst(v, 99);
+        callee.store(v, b, 0);
+        callee.ret();
+        let callee = callee.finish();
+
+        let mut f = pb.function("main");
+        let e = f.entry_block();
+        let t = f.reg();
+        f.switch_to(e);
+        f.iconst(t, callee.index() as i64);
+        f.call_ind(t);
+        f.halt();
+        let main = f.finish();
+        let p = pb.finish(main, 1);
+        let r = Machine::new(&p, MachineConfig::full_width()).run().unwrap();
+        assert_eq!(r.memory[0], 99);
+    }
+
+    /// A negative indirect-call target halts the context (the DSWP
+    /// terminate sentinel).
+    #[test]
+    fn indirect_call_sentinel_halts() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let e = f.entry_block();
+        let t = f.reg();
+        f.switch_to(e);
+        f.iconst(t, -1);
+        f.call_ind(t);
+        // Unreachable, but blocks need terminators.
+        f.halt();
+        let main = f.finish();
+        let p = pb.finish(main, 0);
+        let r = Machine::new(&p, MachineConfig::full_width()).run().unwrap();
+        assert!(r.cycles < 10);
+    }
+}
+
+impl SimResult {
+    /// A multi-line human-readable summary of the run: cycles, per-core
+    /// instruction counts, IPC and stall breakdowns, queue behavior and
+    /// cache miss rates. Intended for logs and CLI output.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "cycles: {}", self.cycles);
+        for (c, s) in self.cores.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "core {c}: {} instrs ({} queue ops), IPC {:.2}; stalls: \
+                 data {}, q-empty {}, q-full {}, frontend {}, structural {}",
+                s.retired,
+                s.queue_ops,
+                s.ipc(self.cycles),
+                s.stall_data,
+                s.stall_queue_empty,
+                s.stall_queue_full,
+                s.stall_frontend,
+                s.stall_structural,
+            );
+        }
+        let cls = &self.occupancy.classes;
+        let total = (cls.full_producer_stalled
+            + cls.empty_consumer_stalled
+            + cls.empty_both_active
+            + cls.balanced_both_active)
+            .max(1) as f64;
+        let _ = writeln!(
+            out,
+            "queues: mean occupancy {:.1}, max {}; cycles {:.0}% balanced / \
+             {:.0}% consumer-starved / {:.0}% producer-blocked",
+            self.occupancy.mean(),
+            self.occupancy.max(),
+            100.0 * cls.balanced_both_active as f64 / total,
+            100.0 * cls.empty_consumer_stalled as f64 / total,
+            100.0 * cls.full_producer_stalled as f64 / total,
+        );
+        for (c, cs) in self.cache.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "cache core {c}: {} loads, L1 miss rate {:.1}%",
+                cs.accesses,
+                100.0 * cs.l1_miss_rate()
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod summary_tests {
+    use super::*;
+    use crate::config::MachineConfig;
+    use dswp_ir::ProgramBuilder;
+
+    #[test]
+    fn summary_mentions_every_section() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let e = f.entry_block();
+        let (a, b) = (f.reg(), f.reg());
+        f.switch_to(e);
+        f.iconst(a, 0);
+        f.load(b, a, 0);
+        f.halt();
+        let main = f.finish();
+        let p = pb.finish(main, 1);
+        let r = Machine::new(&p, MachineConfig::full_width()).run().unwrap();
+        let s = r.summary();
+        assert!(s.contains("cycles:"), "{s}");
+        assert!(s.contains("core 0:"), "{s}");
+        assert!(s.contains("queues:"), "{s}");
+        assert!(s.contains("cache core 0:"), "{s}");
+    }
+}

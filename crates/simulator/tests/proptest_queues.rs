@@ -1,0 +1,106 @@
+//! Property tests for queue semantics and engine agreement: random
+//! producer/consumer programs must preserve FIFO order, and the timing
+//! model must compute exactly what the functional executor computes,
+//! independent of queue capacity and communication latency.
+
+use proptest::prelude::*;
+
+use dswp_ir::{Program, ProgramBuilder, QueueId};
+use dswp_sim::{Executor, Machine, MachineConfig};
+
+/// Builds a two-thread program: thread 0 produces `values` on a queue (plus
+/// a count header); thread 1 consumes them and stores each to memory in
+/// order.
+fn fifo_program(values: &[i64]) -> Program {
+    let n = values.len() as i64;
+    let q = QueueId(0);
+    let mut pb = ProgramBuilder::new();
+
+    let mut f = pb.function("producer");
+    let e = f.entry_block();
+    f.switch_to(e);
+    let tmp = f.reg();
+    for &v in values {
+        f.iconst(tmp, v);
+        f.produce(q, tmp);
+    }
+    f.halt();
+    let producer = f.finish();
+
+    let mut g = pb.function("consumer");
+    let e2 = g.entry_block();
+    let header = g.block("header");
+    let body = g.block("body");
+    let exit = g.block("exit");
+    let (i, lim, done, v, addr) = (g.reg(), g.reg(), g.reg(), g.reg(), g.reg());
+    g.switch_to(e2);
+    g.iconst(i, 0);
+    g.iconst(lim, n);
+    g.jump(header);
+    g.switch_to(header);
+    g.cmp_ge(done, i, lim);
+    g.br(done, exit, body);
+    g.switch_to(body);
+    g.consume(v, q);
+    g.add(addr, i, 0);
+    g.store(v, addr, 0);
+    g.add(i, i, 1);
+    g.jump(header);
+    g.switch_to(exit);
+    g.halt();
+    let consumer = g.finish();
+
+    let mut p = pb.finish(producer, values.len().max(1));
+    p.num_queues = 1;
+    p.add_thread(consumer);
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn queues_are_fifo_on_both_engines(values in prop::collection::vec(any::<i64>(), 1..40)) {
+        let p = fifo_program(&values);
+
+        let exec = Executor::new(&p).run().unwrap();
+        prop_assert_eq!(&exec.memory[..values.len()], values.as_slice());
+
+        let sim = Machine::new(&p, MachineConfig::full_width()).run().unwrap();
+        prop_assert_eq!(&sim.memory[..values.len()], values.as_slice());
+    }
+
+    #[test]
+    fn capacity_and_latency_never_change_results(
+        values in prop::collection::vec(-1000i64..1000, 1..30),
+        capacity in 1usize..64,
+        latency in 1u64..40,
+    ) {
+        let p = fifo_program(&values);
+        let cfg = MachineConfig::full_width()
+            .with_queue_capacity(capacity)
+            .with_comm_latency(latency);
+        let sim = Machine::new(&p, cfg).run().unwrap();
+        prop_assert_eq!(&sim.memory[..values.len()], values.as_slice());
+        // Occupancy can never exceed the configured capacity.
+        prop_assert!(sim.occupancy.max() <= capacity);
+    }
+
+    #[test]
+    fn smaller_queues_and_longer_latencies_never_speed_things_up(
+        values in prop::collection::vec(-10i64..10, 8..24),
+    ) {
+        let p = fifo_program(&values);
+        let base = Machine::new(&p, MachineConfig::full_width().with_queue_capacity(64))
+            .run()
+            .unwrap();
+        let tight = Machine::new(&p, MachineConfig::full_width().with_queue_capacity(1))
+            .run()
+            .unwrap();
+        prop_assert!(tight.cycles >= base.cycles);
+        let slow = Machine::new(&p, MachineConfig::full_width().with_comm_latency(30))
+            .run()
+            .unwrap();
+        prop_assert!(slow.cycles >= base.cycles);
+    }
+}

@@ -1,0 +1,146 @@
+//! 188.ammp — a molecular-dynamics force loop over a linked list of atoms.
+//!
+//! The recurrence is the atom-list pointer chase; the body is
+//! floating-point heavy (squared distance, a high-latency divide, force
+//! scaling) with a force store and a potential-energy accumulator — the
+//! "pointer-chase feeding expensive FP" shape the paper selects from ammp.
+//!
+//! Atom layout (stride 8): `[next, x, y, z, force, _, _, _]` with
+//! field-granular regions.
+
+use dswp_ir::{BlockId, ProgramBuilder, RegionId, UnOp};
+
+use crate::util::Rng64;
+use crate::{Size, Workload};
+
+const PE_AT: usize = 0;
+const ATOM_BASE: usize = 16;
+const STRIDE: usize = 8;
+
+/// Builds the kernel for `size`.
+pub fn build(size: Size) -> Workload {
+    let atoms = size.n();
+
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.function("main");
+    let e = f.entry_block();
+    let header = f.block("header");
+    let body = f.block("body");
+    let exit = f.block("exit");
+
+    let (ptr, done, base) = (f.reg(), f.reg(), f.reg());
+    let (x, y, z, cx, cy, cz) = (f.reg(), f.reg(), f.reg(), f.reg(), f.reg(), f.reg());
+    let (dx, dy, dz, r2, t, inv, force, pe, kk, one) = (
+        f.reg(),
+        f.reg(),
+        f.reg(),
+        f.reg(),
+        f.reg(),
+        f.reg(),
+        f.reg(),
+        f.reg(),
+        f.reg(),
+        f.reg(),
+    );
+
+    f.switch_to(e);
+    f.iconst(ptr, ATOM_BASE as i64);
+    f.fconst(pe, 0.0);
+    f.fconst(cx, 1.25);
+    f.fconst(cy, -0.75);
+    f.fconst(cz, 2.5);
+    f.fconst(kk, 3.5);
+    f.fconst(one, 1.0);
+    f.iconst(base, 0);
+    f.jump(header);
+
+    f.switch_to(header);
+    f.cmp_eq(done, ptr, 0);
+    f.br(done, exit, body);
+
+    f.switch_to(body);
+    f.load_region(x, ptr, 1, RegionId(1));
+    f.load_region(y, ptr, 2, RegionId(2));
+    f.load_region(z, ptr, 3, RegionId(3));
+    f.fsub(dx, x, cx);
+    f.fsub(dy, y, cy);
+    f.fsub(dz, z, cz);
+    f.fmul(t, dx, dx);
+    f.fmul(r2, dy, dy);
+    f.fadd(r2, r2, t);
+    f.fmul(t, dz, dz);
+    f.fadd(r2, r2, t);
+    f.fadd(r2, r2, one); // avoid division by ~0
+    f.fdiv(inv, one, r2);
+    f.fmul(force, inv, kk);
+    f.store_region(force, ptr, 4, RegionId(4));
+    f.fadd(pe, pe, force);
+    f.load_region(ptr, ptr, 0, RegionId(0));
+    f.jump(header);
+
+    f.switch_to(exit);
+    f.store(pe, base, PE_AT as i64);
+    let as_int = f.reg();
+    f.unary(as_int, UnOp::FloatToInt, pe);
+    f.store(as_int, base, PE_AT as i64 + 1);
+    f.halt();
+    let main = f.finish();
+
+    let mut mem = vec![0i64; ATOM_BASE + atoms * STRIDE];
+    let mut rng = Rng64::new(0xa33b);
+    let mut addr = ATOM_BASE;
+    for i in 0..atoms {
+        let next = if i + 1 == atoms { 0 } else { addr + STRIDE };
+        mem[addr] = next as i64;
+        for (k, slot) in [1usize, 2, 3].into_iter().enumerate() {
+            let coord = (rng.below_i64(2000) as f64 - 1000.0) / 100.0 + k as f64;
+            mem[addr + slot] = coord.to_bits() as i64;
+        }
+        addr += STRIDE;
+    }
+    Workload {
+        name: "188.ammp",
+        program: pb.finish_with_memory(main, mem),
+        header: BlockId(1),
+        doall: false,
+    }
+}
+
+/// Plain-Rust reference; returns the final memory image.
+pub fn reference(mem: &[i64]) -> Vec<i64> {
+    let mut m = mem.to_vec();
+    let (cx, cy, cz, kk) = (1.25f64, -0.75f64, 2.5f64, 3.5f64);
+    let mut pe = 0.0f64;
+    let mut ptr = ATOM_BASE as i64;
+    while ptr != 0 {
+        let p = ptr as usize;
+        let x = f64::from_bits(m[p + 1] as u64);
+        let y = f64::from_bits(m[p + 2] as u64);
+        let z = f64::from_bits(m[p + 3] as u64);
+        let (dx, dy, dz) = (x - cx, y - cy, z - cz);
+        let r2 = dy * dy + dx * dx + dz * dz + 1.0;
+        let force = (1.0 / r2) * kk;
+        m[p + 4] = force.to_bits() as i64;
+        pe += force;
+        ptr = m[p];
+    }
+    m[PE_AT] = pe.to_bits() as i64;
+    m[PE_AT + 1] = pe as i64;
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dswp_ir::interp::Interpreter;
+
+    #[test]
+    fn matches_reference() {
+        let w = build(Size::Test);
+        let expected = reference(&w.program.initial_memory);
+        let r = Interpreter::new(&w.program).run().unwrap();
+        assert_eq!(r.memory, expected);
+        let pe = f64::from_bits(r.memory[PE_AT] as u64);
+        assert!(pe.is_finite() && pe > 0.0);
+    }
+}

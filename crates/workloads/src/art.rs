@@ -1,0 +1,164 @@
+//! 179.art — the neural-network accumulation loop of the paper's Figure 11
+//! (Section 5.3):
+//!
+//! ```c
+//! for (ti = 0; ti < numf; ti++)
+//!     Y[tj].y += f_layer[ti].p * bus[ti][tj];
+//! ```
+//!
+//! The summation is a floating-point recurrence; the `accumulators`
+//! parameter performs the case study's **accumulator expansion**: the body
+//! is unrolled that many times with one private accumulator each (summed
+//! after the loop), splitting the single addition recurrence into several
+//! smaller SCCs.
+
+use dswp_ir::{BlockId, ProgramBuilder, Reg, RegionId, UnOp};
+
+use crate::util::Rng64;
+use crate::{Size, Workload};
+
+const OUT_AT: usize = 0;
+const P_BASE: i64 = 16;
+
+/// Builds the kernel with `accumulators` parallel partial sums (1 = the
+/// original code, 4 = the paper's expansion).
+pub fn build(size: Size, accumulators: usize) -> Workload {
+    assert!(accumulators >= 1);
+    let k = accumulators as i64;
+    let n = ((size.n() as i64) / k) * k;
+    let bus_base = P_BASE + n;
+    let iters = n / k;
+
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.function("main");
+    let e = f.entry_block();
+    let header = f.block("header");
+    let body = f.block("body");
+    let exit = f.block("exit");
+
+    let (ti, nn, done, pb_reg, bb_reg, base) =
+        (f.reg(), f.reg(), f.reg(), f.reg(), f.reg(), f.reg());
+    let accs: Vec<Reg> = (0..accumulators).map(|_| f.reg()).collect();
+
+    f.switch_to(e);
+    f.iconst(ti, 0);
+    f.iconst(nn, iters);
+    f.iconst(pb_reg, P_BASE);
+    f.iconst(bb_reg, bus_base);
+    f.iconst(base, 0);
+    for &a in &accs {
+        f.fconst(a, 0.0);
+    }
+    f.jump(header);
+
+    f.switch_to(header);
+    f.cmp_ge(done, ti, nn);
+    f.br(done, exit, body);
+
+    f.switch_to(body);
+    for (j, &acc) in accs.iter().enumerate() {
+        let (idx, addr, p, b, prod) = (f.reg(), f.reg(), f.reg(), f.reg(), f.reg());
+        f.mul(idx, ti, k);
+        f.add(idx, idx, j as i64);
+        f.add(addr, pb_reg, idx);
+        f.load_region(p, addr, 0, RegionId(0));
+        f.add(addr, bb_reg, idx);
+        f.load_region(b, addr, 0, RegionId(1));
+        f.fmul(prod, p, b);
+        f.fadd(acc, acc, prod);
+    }
+    f.add(ti, ti, 1);
+    f.jump(header);
+
+    f.switch_to(exit);
+    // Sum the partial accumulators and store both the f64 bit pattern and a
+    // truncated integer form.
+    let total = f.reg();
+    f.mov(total, accs[0]);
+    for &a in &accs[1..] {
+        f.fadd(total, total, a);
+    }
+    f.store(total, base, OUT_AT as i64);
+    let as_int = f.reg();
+    f.unary(as_int, UnOp::FloatToInt, total);
+    f.store(as_int, base, OUT_AT as i64 + 1);
+    f.halt();
+    let main = f.finish();
+
+    let mut mem = vec![0i64; (bus_base + n) as usize];
+    let mut rng = Rng64::new(0xa27);
+    for idx in 0..n as usize {
+        let p = (rng.below_i64(1000) as f64) / 250.0;
+        let b = (rng.below_i64(1000) as f64 - 500.0) / 125.0;
+        mem[P_BASE as usize + idx] = p.to_bits() as i64;
+        mem[bus_base as usize + idx] = b.to_bits() as i64;
+    }
+    Workload {
+        name: "179.art",
+        program: pb.finish_with_memory(main, mem),
+        header: BlockId(1),
+        doall: true, // the paper classifies art's loop as DOALL-parallelizable
+    }
+}
+
+/// Plain-Rust reference with the same association order as the IR kernel.
+pub fn reference(p: &[i64], bus: &[i64], accumulators: usize) -> f64 {
+    let k = accumulators;
+    let mut accs = vec![0.0f64; k];
+    let iters = p.len() / k;
+    for ti in 0..iters {
+        for (j, acc) in accs.iter_mut().enumerate() {
+            let idx = ti * k + j;
+            let pv = f64::from_bits(p[idx] as u64);
+            let bv = f64::from_bits(bus[idx] as u64);
+            *acc += pv * bv;
+        }
+    }
+    let mut total = accs[0];
+    for &a in &accs[1..] {
+        total += a;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dswp_ir::interp::Interpreter;
+
+    fn check(k: usize) {
+        let w = build(Size::Test, k);
+        let n = (Size::Test.n() / k) * k;
+        let mem = &w.program.initial_memory;
+        let p = mem[P_BASE as usize..P_BASE as usize + n].to_vec();
+        let bus_base = P_BASE as usize + n;
+        let bus = mem[bus_base..bus_base + n].to_vec();
+        let expected = reference(&p, &bus, k);
+        let r = Interpreter::new(&w.program).run().unwrap();
+        assert_eq!(
+            r.memory[OUT_AT],
+            expected.to_bits() as i64,
+            "bit-exact FP mismatch at k={k}"
+        );
+        assert_eq!(r.memory[OUT_AT + 1], expected as i64);
+    }
+
+    #[test]
+    fn matches_reference_with_and_without_expansion() {
+        check(1);
+        check(4);
+    }
+
+    #[test]
+    fn expansion_changes_association_but_stays_finite() {
+        let w1 = build(Size::Test, 1);
+        let w4 = build(Size::Test, 4);
+        let r1 = Interpreter::new(&w1.program).run().unwrap();
+        let r4 = Interpreter::new(&w4.program).run().unwrap();
+        let v1 = f64::from_bits(r1.memory[OUT_AT] as u64);
+        let v4 = f64::from_bits(r4.memory[OUT_AT] as u64);
+        assert!(v1.is_finite() && v4.is_finite());
+        // Same data, so the totals are numerically close.
+        assert!((v1 - v4).abs() < 1e-6 * v1.abs().max(1.0));
+    }
+}

@@ -1,0 +1,189 @@
+//! 256.bzip2 — the bit-stream packing loop with the `bslive` global of the
+//! paper's false-sharing study (Section 4.2).
+//!
+//! Each iteration shifts a byte into the bit buffer (`bsbuff`) and flushes
+//! 16-bit chunks to the output when enough bits accumulate. The bit-buffer
+//! state is a serial recurrence; the loads, the flush stores and the output
+//! cursor form separate SCCs.
+//!
+//! `promote_globals` reproduces the paper's fix: with `false`, `bsbuff` and
+//! `bslive` live in memory words adjacent to the output array (same cache
+//! line) and are loaded/stored every iteration, which the offline sharing
+//! analysis flags as false sharing once DSWP splits the loop; with `true`
+//! they are promoted to registers ("We promoted this global variable to a
+//! register and used the modified version of 256.bzip2 for all
+//! experiments").
+
+use dswp_ir::{BlockId, ProgramBuilder, Reg, RegionId};
+
+use crate::util::Rng64;
+use crate::{Size, Workload};
+
+const OUTPOS_AT: usize = 0;
+/// A constant flush mask the consumer-side code reads every flush; it lives
+/// in the same cache line as `bsbuff`/`bslive`, which is precisely what
+/// makes the producer's global writes false-share with the consumer
+/// (Section 4.2 of the paper).
+pub const FLUSH_MASK_AT: usize = 1;
+/// `bsbuff` global (used when `promote_globals == false`).
+pub const BSBUFF_AT: usize = 2;
+/// `bslive` global (used when `promote_globals == false`).
+pub const BSLIVE_AT: usize = 3;
+/// Output array base — deliberately in the same cache line as the globals.
+pub const OUT_BASE: i64 = 4;
+
+/// Builds the kernel; `promote_globals` keeps the bit-buffer state in
+/// registers instead of memory.
+pub fn build(size: Size, promote_globals: bool) -> Workload {
+    let n = size.n() as i64;
+    let in_base = OUT_BASE + n; // output needs at most n/2 words
+
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.function("main");
+    let e = f.entry_block();
+    let header = f.block("header");
+    let body = f.block("body");
+    let flush = f.block("flush");
+    let join = f.block("join");
+    let exit = f.block("exit");
+
+    let (i, nn, done, base, inb, outb) =
+        (f.reg(), f.reg(), f.reg(), f.reg(), f.reg(), f.reg());
+    let (v, bsbuff, bslive, outpos, enough, chunk, sh, addr, mask) = (
+        f.reg(),
+        f.reg(),
+        f.reg(),
+        f.reg(),
+        f.reg(),
+        f.reg(),
+        f.reg(),
+        f.reg(),
+        f.reg(),
+    );
+
+    // Helpers to read/update the bit-buffer state in either mode.
+    let glob_region = RegionId(9);
+    let load_state = |f: &mut dswp_ir::FunctionBuilder, base: Reg, bsbuff: Reg, bslive: Reg| {
+        if !promote_globals {
+            f.load_region(bsbuff, base, BSBUFF_AT as i64, glob_region);
+            f.load_region(bslive, base, BSLIVE_AT as i64, glob_region);
+        }
+    };
+    let store_state = |f: &mut dswp_ir::FunctionBuilder, base: Reg, bsbuff: Reg, bslive: Reg| {
+        if !promote_globals {
+            f.store_region(bsbuff, base, BSBUFF_AT as i64, glob_region);
+            f.store_region(bslive, base, BSLIVE_AT as i64, glob_region);
+        }
+    };
+
+    f.switch_to(e);
+    f.iconst(i, 0);
+    f.iconst(nn, n);
+    f.iconst(base, 0);
+    f.iconst(inb, in_base);
+    f.iconst(outb, OUT_BASE);
+    f.iconst(bsbuff, 0);
+    f.iconst(bslive, 0);
+    f.iconst(outpos, 0);
+    store_state(&mut f, base, bsbuff, bslive);
+    f.jump(header);
+
+    f.switch_to(header);
+    f.cmp_ge(done, i, nn);
+    f.br(done, exit, body);
+
+    f.switch_to(body);
+    f.add(addr, inb, i);
+    f.load_region(v, addr, 0, RegionId(0));
+    f.and(v, v, 0xFF);
+    load_state(&mut f, base, bsbuff, bslive);
+    f.shl(bsbuff, bsbuff, 8);
+    f.or(bsbuff, bsbuff, v);
+    f.add(bslive, bslive, 8);
+    f.cmp_ge(enough, bslive, 16);
+    store_state(&mut f, base, bsbuff, bslive);
+    f.br(enough, flush, join);
+
+    f.switch_to(flush);
+    load_state(&mut f, base, bsbuff, bslive);
+    f.sub(sh, bslive, 16);
+    f.shr(chunk, bsbuff, sh);
+    f.load_region(mask, base, FLUSH_MASK_AT as i64, RegionId(10));
+    f.and(chunk, chunk, mask);
+    f.add(addr, outb, outpos);
+    f.store_region(chunk, addr, 0, RegionId(1));
+    f.add(outpos, outpos, 1);
+    f.sub(bslive, bslive, 16);
+    store_state(&mut f, base, bsbuff, bslive);
+    f.jump(join);
+
+    f.switch_to(join);
+    f.add(i, i, 1);
+    f.jump(header);
+
+    f.switch_to(exit);
+    f.store(outpos, base, OUTPOS_AT as i64);
+    if promote_globals {
+        // Keep the final state observable in both modes.
+        f.store_region(bsbuff, base, BSBUFF_AT as i64, glob_region);
+        f.store_region(bslive, base, BSLIVE_AT as i64, glob_region);
+    }
+    f.halt();
+    let main = f.finish();
+
+    let mut mem = vec![0i64; (in_base + n) as usize];
+    mem[FLUSH_MASK_AT] = 0xFFFF;
+    let mut rng = Rng64::new(0xb21f);
+    for k in 0..n as usize {
+        mem[in_base as usize + k] = rng.byte();
+    }
+    Workload {
+        name: "256.bzip2",
+        program: pb.finish_with_memory(main, mem),
+        header: BlockId(1),
+        doall: false,
+    }
+}
+
+/// Plain-Rust reference: `(outpos, out_words, bsbuff, bslive)`.
+pub fn reference(input: &[i64]) -> (i64, Vec<i64>, i64, i64) {
+    let (mut bsbuff, mut bslive) = (0i64, 0i64);
+    let mut out = Vec::new();
+    for &b in input {
+        bsbuff = (bsbuff << 8) | (b & 0xFF);
+        bslive += 8;
+        if bslive >= 16 {
+            out.push((bsbuff >> (bslive - 16)) & 0xFFFF);
+            bslive -= 16;
+        }
+    }
+    (out.len() as i64, out, bsbuff, bslive)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dswp_ir::interp::Interpreter;
+
+    fn check(promote: bool) {
+        let w = build(Size::Test, promote);
+        let n = Size::Test.n();
+        let in_base = (OUT_BASE as usize) + n;
+        let input = w.program.initial_memory[in_base..in_base + n].to_vec();
+        let (outpos, out, bsbuff, bslive) = reference(&input);
+        let r = Interpreter::new(&w.program).run().unwrap();
+        assert_eq!(r.memory[OUTPOS_AT], outpos, "promote={promote}");
+        assert_eq!(
+            &r.memory[OUT_BASE as usize..OUT_BASE as usize + out.len()],
+            out.as_slice()
+        );
+        assert_eq!(r.memory[BSBUFF_AT], bsbuff);
+        assert_eq!(r.memory[BSLIVE_AT], bslive);
+    }
+
+    #[test]
+    fn matches_reference_in_both_modes() {
+        check(true);
+        check(false);
+    }
+}

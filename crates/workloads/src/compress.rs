@@ -1,0 +1,107 @@
+//! 29.compress — a DOALL-shaped streaming/hashing loop.
+//!
+//! The paper notes the selected compress loop is actually DOALL
+//! (Section 4.1): every iteration reads `in[i]`, computes a hash-like
+//! value, and writes `out[i]`, with no cross-iteration dependence beyond
+//! the induction variable. DSWP still applies (induction SCC → load →
+//! compute → store pipeline).
+
+use dswp_ir::{BlockId, ProgramBuilder, RegionId};
+
+use crate::util::Rng64;
+use crate::{Size, Workload};
+
+const IN_BASE: i64 = 16;
+
+/// Builds the kernel for `size`.
+pub fn build(size: Size) -> Workload {
+    let n = size.n() as i64;
+    let out_base: i64 = IN_BASE + n;
+
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.function("main");
+    let e = f.entry_block();
+    let header = f.block("header");
+    let body = f.block("body");
+    let exit = f.block("exit");
+
+    let (i, nn, done) = (f.reg(), f.reg(), f.reg());
+    let (inb, outb, a_in, a_out) = (f.reg(), f.reg(), f.reg(), f.reg());
+    let (c, t1, t2, h, t3, t4) = (f.reg(), f.reg(), f.reg(), f.reg(), f.reg(), f.reg());
+
+    f.switch_to(e);
+    f.iconst(i, 0);
+    f.iconst(nn, n);
+    f.iconst(inb, IN_BASE);
+    f.iconst(outb, out_base);
+    f.jump(header);
+
+    f.switch_to(header);
+    f.cmp_ge(done, i, nn);
+    f.br(done, exit, body);
+
+    f.switch_to(body);
+    f.add(a_in, inb, i);
+    f.load_region(c, a_in, 0, RegionId(0));
+    f.mul(t1, c, 33);
+    f.shr(t2, c, 3);
+    f.xor(h, t1, t2);
+    f.and(h, h, 0xFFFF);
+    f.shr(t3, h, 5);
+    f.add(t4, h, t3);
+    f.mul(t4, t4, 17);
+    f.and(t4, t4, 0xFFFF);
+    f.add(a_out, outb, i);
+    f.store_region(t4, a_out, 0, RegionId(1));
+    f.add(i, i, 1);
+    f.jump(header);
+
+    f.switch_to(exit);
+    f.halt();
+    let main = f.finish();
+
+    let mut mem = vec![0i64; (out_base + n) as usize];
+    let mut rng = Rng64::new(0x29c0);
+    for k in 0..n as usize {
+        mem[IN_BASE as usize + k] = rng.byte();
+    }
+    Workload {
+        name: "29.compress",
+        program: pb.finish_with_memory(main, mem),
+        header: BlockId(1),
+        doall: true,
+    }
+}
+
+/// Plain-Rust reference of the kernel's computation.
+pub fn reference(input: &[i64]) -> Vec<i64> {
+    input
+        .iter()
+        .map(|&c| {
+            let h = (c.wrapping_mul(33) ^ (c >> 3)) & 0xFFFF;
+            ((h + (h >> 5)).wrapping_mul(17)) & 0xFFFF
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dswp_ir::interp::Interpreter;
+
+    #[test]
+    fn matches_reference() {
+        let w = build(Size::Test);
+        let n = Size::Test.n();
+        let r = Interpreter::new(&w.program).run().unwrap();
+        let input = &w.program.initial_memory[IN_BASE as usize..IN_BASE as usize + n];
+        let expected = reference(input);
+        let out_base = IN_BASE as usize + n;
+        assert_eq!(&r.memory[out_base..out_base + n], expected.as_slice());
+    }
+
+    #[test]
+    fn is_marked_doall() {
+        assert!(build(Size::Test).doall);
+    }
+}

@@ -1,0 +1,124 @@
+//! 183.equake — a sparse matrix-vector product inner loop.
+//!
+//! Each iteration gathers `v[col[j]]`, multiplies by the matrix entry
+//! `a[j]` and accumulates — an FP-addition recurrence fed by a three-load,
+//! one-multiply pipeline, the canonical scientific-code shape the paper
+//! selects from equake.
+
+use dswp_ir::{BlockId, ProgramBuilder, RegionId, UnOp};
+
+use crate::util::Rng64;
+use crate::{Size, Workload};
+
+const OUT_AT: usize = 0;
+const COL_BASE: i64 = 16;
+const VEC_LEN: i64 = 256;
+
+/// Builds the kernel for `size`.
+pub fn build(size: Size) -> Workload {
+    let nnz = size.n() as i64;
+    let a_base = COL_BASE + nnz;
+    let v_base = a_base + nnz;
+
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.function("main");
+    let e = f.entry_block();
+    let header = f.block("header");
+    let body = f.block("body");
+    let exit = f.block("exit");
+
+    let (j, nn, done, colb, ab, vb, base) = (
+        f.reg(),
+        f.reg(),
+        f.reg(),
+        f.reg(),
+        f.reg(),
+        f.reg(),
+        f.reg(),
+    );
+    let (addr, c, a, v, prod, acc) = (f.reg(), f.reg(), f.reg(), f.reg(), f.reg(), f.reg());
+
+    f.switch_to(e);
+    f.iconst(j, 0);
+    f.iconst(nn, nnz);
+    f.iconst(colb, COL_BASE);
+    f.iconst(ab, a_base);
+    f.iconst(vb, v_base);
+    f.iconst(base, 0);
+    f.fconst(acc, 0.0);
+    f.jump(header);
+
+    f.switch_to(header);
+    f.cmp_ge(done, j, nn);
+    f.br(done, exit, body);
+
+    f.switch_to(body);
+    f.add(addr, colb, j);
+    f.load_region(c, addr, 0, RegionId(0));
+    f.add(addr, ab, j);
+    f.load_region(a, addr, 0, RegionId(1));
+    f.add(addr, vb, c);
+    f.load_region(v, addr, 0, RegionId(2));
+    f.fmul(prod, a, v);
+    f.fadd(acc, acc, prod);
+    f.add(j, j, 1);
+    f.jump(header);
+
+    f.switch_to(exit);
+    f.store(acc, base, OUT_AT as i64);
+    let as_int = f.reg();
+    f.unary(as_int, UnOp::FloatToInt, acc);
+    f.store(as_int, base, OUT_AT as i64 + 1);
+    f.halt();
+    let main = f.finish();
+
+    let mut mem = vec![0i64; (v_base + VEC_LEN) as usize];
+    let mut rng = Rng64::new(0xe9ae);
+    for k in 0..nnz as usize {
+        mem[COL_BASE as usize + k] = rng.below_i64(VEC_LEN);
+        let a = (rng.below_i64(2000) as f64 - 1000.0) / 500.0;
+        mem[a_base as usize + k] = a.to_bits() as i64;
+    }
+    for k in 0..VEC_LEN as usize {
+        let v = (rng.below_i64(1000) as f64) / 333.0;
+        mem[v_base as usize + k] = v.to_bits() as i64;
+    }
+    Workload {
+        name: "183.equake",
+        program: pb.finish_with_memory(main, mem),
+        header: BlockId(1),
+        doall: false,
+    }
+}
+
+/// Plain-Rust reference.
+pub fn reference(col: &[i64], a: &[i64], v: &[i64]) -> f64 {
+    let mut acc = 0.0f64;
+    for j in 0..col.len() {
+        let av = f64::from_bits(a[j] as u64);
+        let vv = f64::from_bits(v[col[j] as usize] as u64);
+        acc += av * vv;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dswp_ir::interp::Interpreter;
+
+    #[test]
+    fn matches_reference() {
+        let w = build(Size::Test);
+        let nnz = Size::Test.n();
+        let mem = &w.program.initial_memory;
+        let col = mem[COL_BASE as usize..COL_BASE as usize + nnz].to_vec();
+        let a_base = COL_BASE as usize + nnz;
+        let a = mem[a_base..a_base + nnz].to_vec();
+        let v_base = a_base + nnz;
+        let v = mem[v_base..v_base + VEC_LEN as usize].to_vec();
+        let expected = reference(&col, &a, &v);
+        let r = Interpreter::new(&w.program).run().unwrap();
+        assert_eq!(r.memory[OUT_AT], expected.to_bits() as i64);
+    }
+}

@@ -1,0 +1,129 @@
+//! 164.gzip — the serialized `deflate_fast` window of the paper's
+//! Section 5.4.
+//!
+//! "Sometimes, like in the deflate fast loop of 164.gzip, computation of
+//! [the loop termination] condition may be highly serialized resulting in
+//! one huge SCC, making it unfit for DSWP."
+//!
+//! The kernel advances the scan position by a *data-dependent* amount: the
+//! hash-head lookup feeds the match length, which feeds the next position —
+//! so the position recurrence swallows the loads, the hash computation and
+//! the hash-table update (same-region store ↔ load), leaving one dominant
+//! SCC. The DSWP driver must decline this loop (single SCC or
+//! not-profitable).
+
+use dswp_ir::{BlockId, ProgramBuilder, RegionId};
+
+use crate::util::Rng64;
+use crate::{Size, Workload};
+
+const SUM_AT: usize = 0;
+const HEAD_BASE: i64 = 16; // 64-entry hash table
+const HMASK: i64 = 63;
+const BUF_BASE: i64 = 96;
+
+/// Builds the kernel for `size`.
+pub fn build(size: Size) -> Workload {
+    let n = size.n() as i64;
+
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.function("main");
+    let e = f.entry_block();
+    let header = f.block("header");
+    let body = f.block("body");
+    let exit = f.block("exit");
+
+    let (pos, nn, done, headb, bufb, base) =
+        (f.reg(), f.reg(), f.reg(), f.reg(), f.reg(), f.reg());
+    let (c, h, m, len, sum, addr, t) = (
+        f.reg(),
+        f.reg(),
+        f.reg(),
+        f.reg(),
+        f.reg(),
+        f.reg(),
+        f.reg(),
+    );
+
+    f.switch_to(e);
+    f.iconst(pos, 0);
+    f.iconst(nn, n);
+    f.iconst(headb, HEAD_BASE);
+    f.iconst(bufb, BUF_BASE);
+    f.iconst(base, 0);
+    f.iconst(h, 0);
+    f.iconst(sum, 0);
+    f.jump(header);
+
+    f.switch_to(header);
+    f.cmp_ge(done, pos, nn);
+    f.br(done, exit, body);
+
+    f.switch_to(body);
+    f.add(addr, bufb, pos);
+    f.load_region(c, addr, 0, RegionId(0));
+    f.shl(t, h, 5);
+    f.xor(h, t, c);
+    f.and(h, h, HMASK);
+    f.add(addr, headb, h);
+    f.load_region(m, addr, 0, RegionId(1));
+    f.store_region(pos, addr, 0, RegionId(1));
+    f.sub(len, pos, m);
+    f.and(len, len, 3);
+    f.add(sum, sum, len);
+    // The critical serialization: the next position depends on the match.
+    f.add(pos, pos, 1);
+    f.add(pos, pos, len);
+    f.jump(header);
+
+    f.switch_to(exit);
+    f.store(sum, base, SUM_AT as i64);
+    f.store(pos, base, SUM_AT as i64 + 1);
+    f.halt();
+    let main = f.finish();
+
+    let mut mem = vec![0i64; (BUF_BASE + n + 8) as usize];
+    let mut rng = Rng64::new(0x621f);
+    for k in 0..(n + 8) as usize {
+        mem[BUF_BASE as usize + k] = rng.below_i64(64);
+    }
+    Workload {
+        name: "164.gzip",
+        program: pb.finish_with_memory(main, mem),
+        header: BlockId(1),
+        doall: false,
+    }
+}
+
+/// Plain-Rust reference: `(sum, final_pos)`.
+pub fn reference(buf: &[i64], n: i64) -> (i64, i64) {
+    let mut head = [0i64; 64];
+    let (mut pos, mut h, mut sum) = (0i64, 0i64, 0i64);
+    while pos < n {
+        let c = buf[pos as usize];
+        h = ((h << 5) ^ c) & HMASK;
+        let m = head[h as usize];
+        head[h as usize] = pos;
+        let len = (pos - m) & 3;
+        sum += len;
+        pos += 1 + len;
+    }
+    (sum, pos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dswp_ir::interp::Interpreter;
+
+    #[test]
+    fn matches_reference() {
+        let w = build(Size::Test);
+        let n = Size::Test.n() as i64;
+        let buf = w.program.initial_memory[BUF_BASE as usize..].to_vec();
+        let (sum, pos) = reference(&buf, n);
+        let r = Interpreter::new(&w.program).run().unwrap();
+        assert_eq!(r.memory[SUM_AT], sum);
+        assert_eq!(r.memory[SUM_AT + 1], pos);
+    }
+}

@@ -1,0 +1,130 @@
+//! jpegenc — a DOALL transform loop (forward-DCT flavored).
+//!
+//! The paper's jpegenc loop is DOALL (Section 4.1). The kernel processes
+//! 8-sample blocks: each output mixes the sample with its butterfly partner
+//! (`i ^ 1`) through per-position coefficients, quantizes, and stores — all
+//! iteration-independent.
+
+use dswp_ir::{BlockId, ProgramBuilder, RegionId};
+
+use crate::util::Rng64;
+use crate::{Size, Workload};
+
+const COEF1_BASE: i64 = 16; // 8 entries
+const COEF2_BASE: i64 = 24; // 8 entries
+const IN_BASE: i64 = 32;
+
+/// Builds the kernel for `size`.
+pub fn build(size: Size) -> Workload {
+    let n = (size.n() as i64 / 8) * 8;
+    let out_base = IN_BASE + n;
+
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.function("main");
+    let e = f.entry_block();
+    let header = f.block("header");
+    let body = f.block("body");
+    let exit = f.block("exit");
+
+    let (i, nn, done) = (f.reg(), f.reg(), f.reg());
+    let (inb, outb, c1b, c2b) = (f.reg(), f.reg(), f.reg(), f.reg());
+    let (pos, partner, a, b, c1, c2, t, q) = (
+        f.reg(),
+        f.reg(),
+        f.reg(),
+        f.reg(),
+        f.reg(),
+        f.reg(),
+        f.reg(),
+        f.reg(),
+    );
+    let (addr, k) = (f.reg(), f.reg());
+
+    f.switch_to(e);
+    f.iconst(i, 0);
+    f.iconst(nn, n);
+    f.iconst(inb, IN_BASE);
+    f.iconst(outb, out_base);
+    f.iconst(c1b, COEF1_BASE);
+    f.iconst(c2b, COEF2_BASE);
+    f.jump(header);
+
+    f.switch_to(header);
+    f.cmp_ge(done, i, nn);
+    f.br(done, exit, body);
+
+    f.switch_to(body);
+    f.and(pos, i, 7);
+    f.xor(partner, i, 1);
+    f.add(addr, inb, i);
+    f.load_region(a, addr, 0, RegionId(0));
+    f.add(addr, inb, partner);
+    f.load_region(b, addr, 0, RegionId(0));
+    f.add(addr, c1b, pos);
+    f.load_region(c1, addr, 0, RegionId(1));
+    f.add(addr, c2b, pos);
+    f.load_region(c2, addr, 0, RegionId(2));
+    f.mul(t, a, c1);
+    f.mul(k, b, c2);
+    f.add(t, t, k);
+    f.add(t, t, 128);
+    f.shr(q, t, 8);
+    f.add(addr, outb, i);
+    f.store_region(q, addr, 0, RegionId(3));
+    f.add(i, i, 1);
+    f.jump(header);
+
+    f.switch_to(exit);
+    f.halt();
+    let main = f.finish();
+
+    let mut mem = vec![0i64; (out_base + n) as usize];
+    let mut rng = Rng64::new(0x77e6);
+    for k in 0..8 {
+        mem[COEF1_BASE as usize + k] = 64 + rng.below_i64(192);
+        mem[COEF2_BASE as usize + k] = rng.below_i64(128) - 64;
+    }
+    for k in 0..n as usize {
+        mem[IN_BASE as usize + k] = rng.below_i64(256) - 128;
+    }
+    Workload {
+        name: "jpegenc",
+        program: pb.finish_with_memory(main, mem),
+        header: BlockId(1),
+        doall: true,
+    }
+}
+
+/// Plain-Rust reference.
+pub fn reference(input: &[i64], c1: &[i64], c2: &[i64]) -> Vec<i64> {
+    (0..input.len())
+        .map(|i| {
+            let a = input[i];
+            let b = input[i ^ 1];
+            let pos = i & 7;
+            (a.wrapping_mul(c1[pos]) + b.wrapping_mul(c2[pos]) + 128) >> 8
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dswp_ir::interp::Interpreter;
+
+    #[test]
+    fn matches_reference() {
+        let w = build(Size::Test);
+        let n = (Size::Test.n() / 8) * 8;
+        let mem = &w.program.initial_memory;
+        let input = mem[IN_BASE as usize..IN_BASE as usize + n].to_vec();
+        let c1 = mem[COEF1_BASE as usize..COEF1_BASE as usize + 8].to_vec();
+        let c2 = mem[COEF2_BASE as usize..COEF2_BASE as usize + 8].to_vec();
+        let r = Interpreter::new(&w.program).run().unwrap();
+        let out_base = (IN_BASE as usize) + n;
+        assert_eq!(
+            &r.memory[out_base..out_base + n],
+            reference(&input, &c1, &c2).as_slice()
+        );
+    }
+}

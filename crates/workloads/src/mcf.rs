@@ -1,0 +1,155 @@
+//! 181.mcf — the arc-list refresh loop (the paper's Figure 7 study).
+//!
+//! A linked-list traversal whose recurrence is the pointer chase, followed
+//! by a multi-SCC body: three field loads feed a reduced-cost computation
+//! (with a high-latency `rem`), a conditional flow update, an output store
+//! and an accumulator. The resulting `DAG_SCC` is a chain of components of
+//! varying sizes, which is exactly what makes mcf the paper's
+//! load-balancing case study (Figure 7).
+//!
+//! Node layout (stride 8): `[next, cost, head_pot, tail_pot, flow, out, _, _]`,
+//! each field in its own points-to region (field-sensitive analysis).
+
+use dswp_ir::{BlockId, ProgramBuilder, RegionId};
+
+use crate::util::Rng64;
+use crate::{Size, Workload};
+
+const SUM_AT: usize = 0;
+const UPDATES_AT: usize = 1;
+const NODE_BASE: usize = 16;
+const STRIDE: usize = 8;
+
+/// Builds the kernel for `size`.
+pub fn build(size: Size) -> Workload {
+    let nodes = size.n();
+
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.function("main");
+    let e = f.entry_block();
+    let header = f.block("header");
+    let body = f.block("body");
+    let upd = f.block("update");
+    let join = f.block("join");
+    let exit = f.block("exit");
+
+    let (ptr, done, base) = (f.reg(), f.reg(), f.reg());
+    let (cost, hp, tp, red, red2, red3, neg) = (
+        f.reg(),
+        f.reg(),
+        f.reg(),
+        f.reg(),
+        f.reg(),
+        f.reg(),
+        f.reg(),
+    );
+    let (flow, sum, updates, t) = (f.reg(), f.reg(), f.reg(), f.reg());
+
+    f.switch_to(e);
+    f.iconst(ptr, NODE_BASE as i64);
+    f.iconst(sum, 0);
+    f.iconst(updates, 0);
+    f.iconst(base, 0);
+    f.jump(header);
+
+    f.switch_to(header);
+    f.cmp_eq(done, ptr, 0);
+    f.br(done, exit, body);
+
+    f.switch_to(body);
+    f.load_region(cost, ptr, 1, RegionId(1));
+    f.load_region(hp, ptr, 2, RegionId(2));
+    f.load_region(tp, ptr, 3, RegionId(3));
+    f.mul(red, cost, 13);
+    f.add(red, red, hp);
+    f.sub(red, red, tp);
+    f.mul(red2, red, 3);
+    f.shr(t, red, 2);
+    f.add(red2, red2, t);
+    f.rem(red3, red2, 997);
+    f.store_region(red2, ptr, 5, RegionId(5));
+    f.cmp_lt(neg, red3, 300);
+    f.br(neg, upd, join);
+
+    f.switch_to(upd);
+    f.load_region(flow, ptr, 4, RegionId(4));
+    f.add(flow, flow, 1);
+    f.store_region(flow, ptr, 4, RegionId(4));
+    f.add(updates, updates, 1);
+    f.jump(join);
+
+    f.switch_to(join);
+    f.add(sum, sum, red3);
+    f.load_region(ptr, ptr, 0, RegionId(0));
+    f.jump(header);
+
+    f.switch_to(exit);
+    f.store(sum, base, SUM_AT as i64);
+    f.store(updates, base, UPDATES_AT as i64);
+    f.halt();
+    let main = f.finish();
+
+    let mut mem = vec![0i64; NODE_BASE + nodes * STRIDE];
+    let mut rng = Rng64::new(0x3cf);
+    let mut addr = NODE_BASE;
+    for i in 0..nodes {
+        let next = if i + 1 == nodes { 0 } else { addr + STRIDE };
+        mem[addr] = next as i64;
+        mem[addr + 1] = rng.below_i64(500);
+        mem[addr + 2] = rng.below_i64(2000);
+        mem[addr + 3] = rng.below_i64(2000);
+        mem[addr + 4] = rng.below_i64(10);
+        addr += STRIDE;
+    }
+    Workload {
+        name: "181.mcf",
+        program: pb.finish_with_memory(main, mem),
+        header: BlockId(1),
+        doall: false,
+    }
+}
+
+/// Plain-Rust reference over the node array; returns `(sum, updates,
+/// final_memory_image)`.
+pub fn reference(mem: &[i64]) -> (i64, i64, Vec<i64>) {
+    let mut m = mem.to_vec();
+    let (mut sum, mut updates) = (0i64, 0i64);
+    let mut ptr = NODE_BASE as i64;
+    while ptr != 0 {
+        let p = ptr as usize;
+        let cost = m[p + 1];
+        let hp = m[p + 2];
+        let tp = m[p + 3];
+        let red = cost.wrapping_mul(13) + hp - tp;
+        let red2 = red.wrapping_mul(3) + (red >> 2);
+        let red3 = if red2 == i64::MIN { 0 } else { red2 % 997 };
+        m[p + 5] = red2;
+        if red3 < 300 {
+            m[p + 4] += 1;
+            updates += 1;
+        }
+        sum += red3;
+        ptr = m[p];
+    }
+    m[SUM_AT] = sum;
+    m[UPDATES_AT] = updates;
+    (sum, updates, m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dswp_ir::interp::Interpreter;
+
+    #[test]
+    fn matches_reference() {
+        let w = build(Size::Test);
+        let (sum, updates, expected_mem) = reference(&w.program.initial_memory);
+        let r = Interpreter::new(&w.program).run().unwrap();
+        assert_eq!(r.memory[SUM_AT], sum);
+        assert_eq!(r.memory[UPDATES_AT], updates);
+        assert_eq!(r.memory, expected_mem);
+        assert!(updates > 0, "conditional path must be exercised");
+        assert!(updates < Size::Test.n() as i64, "both arms must run");
+    }
+}

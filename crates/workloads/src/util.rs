@@ -1,0 +1,76 @@
+//! Shared helpers for the workload builders.
+
+/// A tiny deterministic PRNG (SplitMix64) for seeded input generation.
+///
+/// Workload inputs must be reproducible byte-for-byte across runs and
+/// platforms; this avoids any dependence on external crates' stream
+/// stability.
+#[derive(Clone, Debug)]
+pub struct Rng64 {
+    state: u64,
+}
+
+impl Rng64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Rng64 {
+            state: seed.wrapping_add(0x9E3779B97F4A7C15),
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (`bound > 0`).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// Uniform `i64` in `0..bound`.
+    pub fn below_i64(&mut self, bound: i64) -> i64 {
+        (self.next_u64() % bound as u64) as i64
+    }
+
+    /// A small "byte-like" value in 0..256.
+    pub fn byte(&mut self) -> i64 {
+        (self.next_u64() & 0xFF) as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = Rng64::new(42);
+        let mut b = Rng64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = Rng64::new(7);
+        for _ in 0..1000 {
+            assert!(r.below(17) < 17);
+            let v = r.below_i64(100);
+            assert!((0..100).contains(&v));
+            assert!((0..256).contains(&r.byte()));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng64::new(1);
+        let mut b = Rng64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,130 @@
+//! `wc` — the Unix word-count byte-stream state machine.
+//!
+//! Classifies each byte (newline / whitespace), maintains the in-word state
+//! across iterations and three counters. The state and counter recurrences
+//! are small SCCs fed by the load + classification pipeline — a canonical
+//! DSWP shape.
+
+use dswp_ir::{BlockId, ProgramBuilder, RegionId};
+
+use crate::util::Rng64;
+use crate::{Size, Workload};
+
+const WORDS_AT: usize = 0;
+const LINES_AT: usize = 1;
+const CHARS_AT: usize = 2;
+const BUF_BASE: i64 = 16;
+
+/// Builds the kernel for `size`.
+pub fn build(size: Size) -> Workload {
+    let n = size.n() as i64;
+
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.function("main");
+    let e = f.entry_block();
+    let header = f.block("header");
+    let body = f.block("body");
+    let exit = f.block("exit");
+
+    let (i, nn, done, bufb, base) = (f.reg(), f.reg(), f.reg(), f.reg(), f.reg());
+    let (c, is_nl, is_sp, is_tab, ws, addr) =
+        (f.reg(), f.reg(), f.reg(), f.reg(), f.reg(), f.reg());
+    let (words, lines, chars, in_word, not_ws, start) =
+        (f.reg(), f.reg(), f.reg(), f.reg(), f.reg(), f.reg());
+    let one_minus = f.reg();
+
+    f.switch_to(e);
+    f.iconst(i, 0);
+    f.iconst(nn, n);
+    f.iconst(bufb, BUF_BASE);
+    f.iconst(base, 0);
+    f.iconst(words, 0);
+    f.iconst(lines, 0);
+    f.iconst(chars, 0);
+    f.iconst(in_word, 0);
+    f.jump(header);
+
+    f.switch_to(header);
+    f.cmp_ge(done, i, nn);
+    f.br(done, exit, body);
+
+    f.switch_to(body);
+    f.add(addr, bufb, i);
+    f.load_region(c, addr, 0, RegionId(0));
+    f.cmp_eq(is_nl, c, 10);
+    f.cmp_eq(is_sp, c, 32);
+    f.cmp_eq(is_tab, c, 9);
+    f.or(ws, is_sp, is_tab);
+    f.or(ws, ws, is_nl);
+    f.add(lines, lines, is_nl);
+    f.add(chars, chars, 1);
+    f.sub(not_ws, 1, ws);
+    f.sub(one_minus, 1, in_word);
+    f.and(start, not_ws, one_minus);
+    f.add(words, words, start);
+    f.mov(in_word, not_ws);
+    f.add(i, i, 1);
+    f.jump(header);
+
+    f.switch_to(exit);
+    f.store(words, base, WORDS_AT as i64);
+    f.store(lines, base, LINES_AT as i64);
+    f.store(chars, base, CHARS_AT as i64);
+    f.halt();
+    let main = f.finish();
+
+    let mut mem = vec![0i64; (BUF_BASE + n) as usize];
+    let mut rng = Rng64::new(0x77c1);
+    for k in 0..n as usize {
+        // ~20% whitespace, ~5% newlines, rest letters.
+        mem[BUF_BASE as usize + k] = match rng.below(20) {
+            0 => 10,
+            1..=3 => 32,
+            4 => 9,
+            _ => 97 + rng.below_i64(26),
+        };
+    }
+    Workload {
+        name: "wc",
+        program: pb.finish_with_memory(main, mem),
+        header: BlockId(1),
+        doall: false,
+    }
+}
+
+/// Plain-Rust reference: `(words, lines, chars)`.
+pub fn reference(buf: &[i64]) -> (i64, i64, i64) {
+    let (mut words, mut lines, mut chars) = (0, 0, 0);
+    let mut in_word = false;
+    for &c in buf {
+        let ws = c == 10 || c == 32 || c == 9;
+        if c == 10 {
+            lines += 1;
+        }
+        chars += 1;
+        if !ws && !in_word {
+            words += 1;
+        }
+        in_word = !ws;
+    }
+    (words, lines, chars)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dswp_ir::interp::Interpreter;
+
+    #[test]
+    fn matches_reference() {
+        let w = build(Size::Test);
+        let n = Size::Test.n();
+        let buf = w.program.initial_memory[BUF_BASE as usize..BUF_BASE as usize + n].to_vec();
+        let (words, lines, chars) = reference(&buf);
+        let r = Interpreter::new(&w.program).run().unwrap();
+        assert_eq!(r.memory[WORDS_AT], words);
+        assert_eq!(r.memory[LINES_AT], lines);
+        assert_eq!(r.memory[CHARS_AT], chars);
+        assert!(words > 0 && lines > 0);
+    }
+}

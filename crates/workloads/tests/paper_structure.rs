@@ -1,0 +1,121 @@
+//! Structural assertions tying each kernel to the paper's description of
+//! its loop: which recurrences exist, what dominates the `DAG_SCC`, and
+//! which benchmarks are DOALL.
+
+use dswp::{analyze_loop, loop_stats};
+use dswp_analysis::AliasMode;
+use dswp_workloads::{adpcm, ammp, art, bzip2, equake, gzip, mcf, paper_suite, wc, Size};
+
+#[test]
+fn mcf_has_a_small_pointer_chase_scc_and_a_chain_behind_it() {
+    // Figure 7: the mcf DAG is a chain of SCCs; the pointer chase is small
+    // and everything else hangs off it.
+    let w = mcf::build(Size::Test);
+    let a = analyze_loop(&w.program, w.program.main(), w.header, AliasMode::Region).unwrap();
+    // SCC 0 (topologically first, reachable to all) is the chase:
+    // cmp + br + load of `next`.
+    let first = &a.dag.sccs[0];
+    assert!(first.len() <= 4, "chase SCC is small, got {}", first.len());
+    // It reaches every other component.
+    let mut reachable = vec![false; a.dag.len()];
+    reachable[0] = true;
+    for _ in 0..a.dag.len() {
+        for &(x, y) in &a.dag.arcs {
+            if reachable[x] {
+                reachable[y] = true;
+            }
+        }
+    }
+    let unreached = reachable.iter().filter(|&&r| !r).count();
+    assert!(
+        unreached <= 2,
+        "almost everything depends on the chase (unreached: {unreached})"
+    );
+}
+
+#[test]
+fn accumulation_kernels_have_singleton_fp_recurrences() {
+    // art and equake end in an `fadd acc, acc, prod` self-recurrence.
+    for w in [art::build(Size::Test, 1), equake::build(Size::Test)] {
+        let a = analyze_loop(&w.program, w.program.main(), w.header, AliasMode::Region).unwrap();
+        let f = a.normalized.function(a.normalized.main());
+        let acc_sccs = a
+            .dag
+            .sccs
+            .iter()
+            .filter(|comp| {
+                comp.len() == 1
+                    && a.pdg
+                        .instr_of(comp[0])
+                        .map(|i| f.op(i).to_string().starts_with("r") && f.op(i).to_string().contains("fadd"))
+                        .unwrap_or(false)
+            })
+            .count();
+        assert!(acc_sccs >= 1, "{}: no fadd accumulator SCC found", w.name);
+    }
+}
+
+#[test]
+fn wc_state_machine_keeps_counters_in_separate_components() {
+    let w = wc::build(Size::Test);
+    let stats = loop_stats(&w.program, w.program.main(), w.header, AliasMode::Region).unwrap();
+    // words/lines/chars counters + in_word state + classification chain +
+    // load + induction: well past a handful of components.
+    assert!(stats.sccs >= 8, "{}", stats.sccs);
+    assert!(stats.largest_scc <= 4, "{}", stats.largest_scc);
+}
+
+#[test]
+fn bzip2_register_variant_keeps_the_bit_buffer_serial() {
+    let w = bzip2::build(Size::Test, true);
+    let a = analyze_loop(&w.program, w.program.main(), w.header, AliasMode::Region).unwrap();
+    // There must exist a multi-instruction SCC containing the shift-or
+    // bit-buffer recurrence.
+    let has_serial = a.dag.sccs.iter().any(|c| c.len() >= 3);
+    assert!(has_serial);
+}
+
+#[test]
+fn gzip_is_dominated_by_one_scc() {
+    let w = gzip::build(Size::Test);
+    let stats = loop_stats(&w.program, w.program.main(), w.header, AliasMode::Region).unwrap();
+    let share = stats.largest_scc as f64 / stats.instrs as f64;
+    assert!(share > 0.8, "dominant SCC share {share:.2}");
+}
+
+#[test]
+fn adpcm_variants_differ_exactly_as_section_5_2_describes() {
+    let hb = adpcm::build(Size::Test, true);
+    let nohb = adpcm::build(Size::Test, false);
+    let s_hb = loop_stats(&hb.program, hb.program.main(), hb.header, AliasMode::Region).unwrap();
+    let s_no = loop_stats(&nohb.program, nohb.program.main(), nohb.header, AliasMode::Region)
+        .unwrap();
+    // Paper: 4 SCCs (94% in one) vs 38 SCCs (largest 10%).
+    assert_eq!(s_hb.sccs, 4);
+    assert!(s_hb.largest_scc as f64 / s_hb.instrs as f64 > 0.9);
+    assert!(s_no.sccs >= 30, "{}", s_no.sccs);
+    assert!(s_no.largest_scc as f64 / s_no.instrs as f64 <= 0.12);
+}
+
+#[test]
+fn doall_flags_match_the_papers_classification() {
+    // Paper Section 4.1: "three of the selected loops are actually DOALL,
+    // namely the ones from 29.compress, 179.art, and jpegenc."
+    for w in paper_suite(Size::Test) {
+        let expected = matches!(w.name, "29.compress" | "179.art" | "jpegenc");
+        assert_eq!(w.doall, expected, "{}", w.name);
+    }
+}
+
+#[test]
+fn pointer_chasers_resist_precise_analysis() {
+    // mcf and ammp addresses come from loads: no amount of affine analysis
+    // may split their chase recurrences.
+    for w in [mcf::build(Size::Test), ammp::build(Size::Test)] {
+        let region =
+            loop_stats(&w.program, w.program.main(), w.header, AliasMode::Region).unwrap();
+        let precise =
+            loop_stats(&w.program, w.program.main(), w.header, AliasMode::Precise).unwrap();
+        assert_eq!(region.sccs, precise.sccs, "{}", w.name);
+    }
+}

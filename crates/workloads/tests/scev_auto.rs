@@ -1,0 +1,96 @@
+//! The automated "accurate memory analysis" (scalar evolution) must
+//! recover what the epicdec kernel's hand-written affine annotations
+//! assert: stripping every annotation and re-deriving them yields the same
+//! SCC structure, and DSWP on the auto-annotated program stays correct.
+
+use dswp::{annotate_loop_affine, dswp_loop, loop_stats, DswpOptions};
+use dswp_analysis::AliasMode;
+use dswp_ir::interp::Interpreter;
+use dswp_ir::op::MemInfo;
+use dswp_ir::{Op, Program};
+use dswp_sim::Executor;
+use dswp_workloads::{epic, Size};
+
+/// Removes every memory annotation (region and affine) from `p`.
+fn strip_annotations(p: &mut Program) {
+    for fi in 0..p.functions().len() {
+        let f = p.function_mut(dswp_ir::FuncId::from_index(fi));
+        for i in 0..f.num_instr_slots() {
+            let id = dswp_ir::InstrId::from_index(i);
+            match f.op_mut(id) {
+                Op::Load { mem, .. } | Op::Store { mem, .. } => *mem = MemInfo::UNKNOWN,
+                _ => {}
+            }
+        }
+    }
+}
+
+#[test]
+fn scev_recovers_epicdec_manual_annotations() {
+    for unroll in [1usize, 2] {
+        let w = epic::build(Size::Test, unroll);
+        let main = w.program.main();
+
+        // Reference: the hand-annotated kernel under Precise.
+        let manual = loop_stats(&w.program, main, w.header, AliasMode::Precise).unwrap();
+
+        // Strip everything; Precise now has nothing to work with...
+        let mut stripped = w.program.clone();
+        strip_annotations(&mut stripped);
+        let blind = loop_stats(&stripped, main, w.header, AliasMode::Precise).unwrap();
+        assert!(
+            blind.sccs < manual.sccs,
+            "unroll {unroll}: stripping must lose precision ({} !< {})",
+            blind.sccs,
+            manual.sccs
+        );
+
+        // ...until scalar evolution re-derives the affine facts.
+        let stats = annotate_loop_affine(&mut stripped, main, w.header).unwrap();
+        assert!(stats.annotated > 0, "unroll {unroll}: {stats:?}");
+        let derived = loop_stats(&stripped, main, w.header, AliasMode::Precise).unwrap();
+        assert_eq!(
+            derived.sccs, manual.sccs,
+            "unroll {unroll}: derived precision must match the manual annotations"
+        );
+        assert_eq!(derived.largest_scc, manual.largest_scc);
+    }
+}
+
+#[test]
+fn dswp_on_auto_annotated_epicdec_is_correct_and_partitionable() {
+    let w = epic::build(Size::Test, 1);
+    let main = w.program.main();
+    let baseline = Interpreter::new(&w.program).run().unwrap();
+
+    let mut p = w.program.clone();
+    strip_annotations(&mut p);
+    annotate_loop_affine(&mut p, main, w.header).unwrap();
+
+    let opts = DswpOptions {
+        alias: AliasMode::Precise,
+        min_speedup: 0.0,
+        ..DswpOptions::default()
+    };
+    let report = dswp_loop(&mut p, main, w.header, &baseline.profile, &opts).unwrap();
+    assert!(report.num_sccs >= 10, "auto-derived facts split the SCCs");
+    let exec = Executor::new(&p).run().unwrap();
+    assert_eq!(exec.memory, baseline.memory);
+}
+
+#[test]
+fn scev_never_claims_facts_on_pointer_chases() {
+    // mcf's addresses come from loads — nothing must be annotated, and
+    // Precise must not suddenly split the pointer-chase recurrence.
+    let w = dswp_workloads::mcf::build(Size::Test);
+    let main = w.program.main();
+    let before = loop_stats(&w.program, main, w.header, AliasMode::Precise).unwrap();
+    let mut p = w.program.clone();
+    strip_annotations(&mut p);
+    let stats = annotate_loop_affine(&mut p, main, w.header).unwrap();
+    assert_eq!(stats.annotated, 0, "{stats:?}");
+    // The stripped + derived program is *less* precise than the
+    // field-region-annotated original, never more.
+    let after = loop_stats(&p, main, w.header, AliasMode::Precise).unwrap();
+    assert!(after.sccs <= before.sccs);
+}

@@ -1,0 +1,45 @@
+//! Text-format round-trip over every benchmark kernel: serialize, parse,
+//! re-serialize (fixed point) and re-execute (identical result) — including
+//! DSWP-transformed programs with their queue instructions.
+
+use dswp::{dswp_loop, DswpOptions};
+use dswp_ir::interp::Interpreter;
+use dswp_ir::verify::verify_program;
+use dswp_ir::{parse_program, to_text};
+use dswp_sim::Executor;
+use dswp_workloads::{paper_suite, Size};
+
+#[test]
+fn every_workload_round_trips_through_text() {
+    for w in paper_suite(Size::Test) {
+        let text = to_text(&w.program);
+        let parsed = parse_program(&text)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        verify_program(&parsed).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        assert_eq!(to_text(&parsed), text, "{}: not a fixed point", w.name);
+
+        let a = Interpreter::new(&w.program).run().unwrap();
+        let b = Interpreter::new(&parsed).run().unwrap();
+        assert_eq!(a.memory, b.memory, "{}", w.name);
+        assert_eq!(a.steps, b.steps, "{}", w.name);
+    }
+}
+
+#[test]
+fn transformed_programs_round_trip_through_text() {
+    for w in paper_suite(Size::Test) {
+        let baseline = Interpreter::new(&w.program).run().unwrap();
+        let mut p = w.program.clone();
+        let main = p.main();
+        if dswp_loop(&mut p, main, w.header, &baseline.profile, &DswpOptions::default())
+            .is_err()
+        {
+            continue;
+        }
+        let text = to_text(&p);
+        let parsed = parse_program(&text).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        assert_eq!(to_text(&parsed), text, "{}", w.name);
+        let exec = Executor::new(&parsed).run().unwrap();
+        assert_eq!(exec.memory, baseline.memory, "{}", w.name);
+    }
+}

@@ -1,0 +1,61 @@
+//! The paper's Figure 1 experiment: a pointer-chasing loop
+//! (`while (ptr = ptr->next) ptr->val += 1;`) parallelized with DOACROSS vs
+//! DSWP, swept over inter-core communication latencies.
+//!
+//! DOACROSS routes the critical-path recurrence (the pointer-chasing load)
+//! from core to core *every iteration*, so its runtime grows by roughly
+//! `iterations × latency`. DSWP keeps the recurrence on one core, so it is
+//! nearly latency-insensitive.
+//!
+//! Run with `cargo run --release --example linked_list`.
+
+use dswp_repro::dswp::{doacross, dswp_loop, DswpOptions};
+use dswp_repro::ir::interp::Interpreter;
+use dswp_repro::sim::{Machine, MachineConfig};
+use dswp_repro::workloads::{figure1, Size};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let w = figure1::build(Size::Paper);
+    let main = w.program.main();
+    let baseline = Interpreter::new(&w.program).run()?;
+
+    // DOACROSS version.
+    let mut dx = w.program.clone();
+    let report = doacross(&mut dx, main, w.header)?;
+    println!(
+        "DOACROSS: {} carried register(s) forwarded per iteration: {:?}",
+        report.state_regs.len(),
+        report.state_regs
+    );
+
+    // DSWP version.
+    let mut ds = w.program.clone();
+    let dswp_report = dswp_loop(&mut ds, main, w.header, &baseline.profile, &DswpOptions::default())?;
+    println!(
+        "DSWP: {} SCCs partitioned into {} pipeline stages\n",
+        dswp_report.num_sccs, dswp_report.partitioning.num_threads
+    );
+
+    println!(
+        "{:<14} {:>14} {:>14} {:>14}",
+        "comm latency", "1 thread", "DOACROSS", "DSWP"
+    );
+    for lat in [1u64, 5, 10, 20, 50] {
+        let cfg = MachineConfig::full_width().with_comm_latency(lat);
+        let base = Machine::new(&w.program, cfg.clone()).run()?;
+        let dxr = Machine::new(&dx, cfg.clone()).run()?;
+        let dsr = Machine::new(&ds, cfg).run()?;
+        assert_eq!(dxr.memory, base.memory);
+        assert_eq!(dsr.memory, base.memory);
+        println!(
+            "{:<14} {:>13}c {:>13}c {:>13}c",
+            format!("{lat} cycles"),
+            base.cycles,
+            dxr.cycles,
+            dsr.cycles
+        );
+    }
+    println!("\nDOACROSS degrades linearly with latency; DSWP barely moves —");
+    println!("the paper's Figure 1 in numbers.");
+    Ok(())
+}

@@ -1,0 +1,119 @@
+//! The epicdec case study (paper Section 5.1), fully automated: build the
+//! Figure 10 clamp loop with *no* memory annotations, let the
+//! scalar-evolution pass derive affine facts for `result[i]`, and watch the
+//! dependence graph split from one merged load/store recurrence into
+//! per-element pipelines.
+//!
+//! Run with `cargo run --release --example scalar_evolution`.
+
+use dswp_repro::analysis::AliasMode;
+use dswp_repro::dswp::{annotate_loop_affine, dswp_loop, loop_stats, DswpOptions};
+use dswp_repro::ir::interp::Interpreter;
+use dswp_repro::ir::{BlockId, ProgramBuilder};
+use dswp_repro::sim::{Machine, MachineConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Figure 10: for i in 0..n { dtemp = result[i] / scale;
+    //   result[i] = clamp(dtemp) } — with *unannotated* loads and stores.
+    let n = 512i64;
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.function("main");
+    let e = f.entry_block();
+    let header = f.block("header");
+    let body = f.block("body");
+    let lo = f.block("lo");
+    let hitest = f.block("hitest");
+    let hi = f.block("hi");
+    let mid = f.block("mid");
+    let latch = f.block("latch");
+    let exit = f.block("exit");
+    let (i, nn, base, done, addr, v, dtemp, p) = (
+        f.reg(),
+        f.reg(),
+        f.reg(),
+        f.reg(),
+        f.reg(),
+        f.reg(),
+        f.reg(),
+        f.reg(),
+    );
+    f.switch_to(e);
+    f.iconst(i, 0);
+    f.iconst(nn, n);
+    f.iconst(base, 16);
+    f.jump(header);
+    f.switch_to(header);
+    f.cmp_ge(done, i, nn);
+    f.br(done, exit, body);
+    f.switch_to(body);
+    f.add(addr, base, i);
+    f.load(v, addr, 0); // plain load: no region, no affine facts
+    f.div(dtemp, v, 7);
+    f.cmp_lt(p, dtemp, 0);
+    f.br(p, lo, hitest);
+    f.switch_to(lo);
+    f.store(0, addr, 0);
+    f.jump(latch);
+    f.switch_to(hitest);
+    f.cmp_gt(p, dtemp, 255);
+    f.br(p, hi, mid);
+    f.switch_to(hi);
+    f.store(255, addr, 0);
+    f.jump(latch);
+    f.switch_to(mid);
+    f.add(dtemp, dtemp, 1);
+    f.store(dtemp, addr, 0);
+    f.jump(latch);
+    f.switch_to(latch);
+    f.add(i, i, 1);
+    f.jump(header);
+    f.switch_to(exit);
+    f.halt();
+    let main_fn = f.finish();
+    let mut mem = vec![0i64; 16 + n as usize];
+    for k in 0..n as usize {
+        mem[16 + k] = ((k as i64).wrapping_mul(2654435761)) % 4000 - 500;
+    }
+    let mut program = pb.finish_with_memory(main_fn, mem);
+    let header = BlockId(1);
+
+    let before = loop_stats(&program, main_fn, header, AliasMode::Precise)?;
+    println!(
+        "without memory facts:  {} SCCs, largest {} of {} instructions",
+        before.sccs, before.largest_scc, before.instrs
+    );
+
+    let stats = annotate_loop_affine(&mut program, main_fn, header)?;
+    println!(
+        "scalar evolution:      {} access(es) proven affine, {} unanalyzable",
+        stats.annotated, stats.unanalyzed
+    );
+
+    let after = loop_stats(&program, main_fn, header, AliasMode::Precise)?;
+    println!(
+        "with derived facts:    {} SCCs, largest {}",
+        after.sccs, after.largest_scc
+    );
+
+    // And the payoff: DSWP under precise analysis.
+    let baseline = Interpreter::new(&program).run()?;
+    let original = program.clone();
+    let opts = DswpOptions {
+        alias: AliasMode::Precise,
+        ..DswpOptions::default()
+    };
+    dswp_loop(&mut program, main_fn, header, &baseline.profile, &opts)?;
+    let cfg = MachineConfig::full_width();
+    let base_sim = Machine::new(&original, cfg.clone()).run()?;
+    let dswp_sim = Machine::new(&program, cfg).run()?;
+    assert_eq!(base_sim.memory, dswp_sim.memory);
+    println!(
+        "\nDSWP speedup with the derived analysis: {:.2}x ({} -> {} cycles)",
+        base_sim.cycles as f64 / dswp_sim.cycles as f64,
+        base_sim.cycles,
+        dswp_sim.cycles
+    );
+    println!("— the paper's epicdec case study, with the accurate memory");
+    println!("  analysis computed instead of assumed.");
+    Ok(())
+}

@@ -1,0 +1,306 @@
+//! `dswpc` — a command-line driver for the DSWP reproduction.
+//!
+//! Reads a program in the `dswp-ir` text format, optionally unrolls and
+//! DSWP-transforms its hottest loop, and runs it on the interpreter or the
+//! dual-core timing model.
+//!
+//! ```text
+//! USAGE: dswpc <file.ir> [options]
+//!
+//!   --dswp                 apply automatic DSWP to the selected loop
+//!   --loop bbN             select the loop with this header (default: hottest)
+//!   --unroll K             unroll the selected loop K times first
+//!   --alias MODE           conservative | region | precise   (default region)
+//!   --threads N            pipeline stages to target          (default 2)
+//!   --stats                print Table 1-style loop statistics
+//!   --dot FILE             write the loop's PDG as Graphviz to FILE
+//!   --emit FILE            write the (transformed) program text to FILE
+//!   --sim [full|half]      run on the timing model             (default full)
+//!   --comm N               inter-core latency for --sim        (default 1)
+//!   --run                  run on the functional executor
+//! ```
+
+use std::process::ExitCode;
+
+use dswp_repro::analysis::{AliasMode, DagScc};
+use dswp_repro::dswp::{
+    analyze_loop, annotate_loop_affine, dswp_loop, loop_stats, select_loop, unroll_loop,
+    DswpOptions,
+};
+use dswp_repro::ir::interp::Interpreter;
+use dswp_repro::ir::{parse_program, to_text, BlockId};
+use dswp_repro::sim::{Executor, Machine, MachineConfig};
+
+struct Args {
+    file: String,
+    dswp: bool,
+    loop_header: Option<BlockId>,
+    unroll: Option<usize>,
+    alias: AliasMode,
+    threads: usize,
+    stats: bool,
+    dot: Option<String>,
+    emit: Option<String>,
+    sim: Option<MachineConfig>,
+    comm: u64,
+    run: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dswpc <file.ir> [--dswp] [--loop bbN] [--unroll K] \
+         [--alias conservative|region|precise] [--threads N] [--stats] \
+         [--dot FILE] [--emit FILE] [--sim [full|half]] [--comm N] [--run]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        file: String::new(),
+        dswp: false,
+        loop_header: None,
+        unroll: None,
+        alias: AliasMode::Region,
+        threads: 2,
+        stats: false,
+        dot: None,
+        emit: None,
+        sim: None,
+        comm: 1,
+        run: false,
+    };
+    let mut it = std::env::args().skip(1).peekable();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--dswp" => args.dswp = true,
+            "--stats" => args.stats = true,
+            "--run" => args.run = true,
+            "--loop" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                let n = v.trim_start_matches("bb").parse().unwrap_or_else(|_| usage());
+                args.loop_header = Some(BlockId(n));
+            }
+            "--unroll" => {
+                args.unroll = Some(it.next().and_then(|v| v.parse::<usize>().ok()).unwrap_or_else(|| usage()));
+            }
+            "--alias" => {
+                args.alias = match it.next().as_deref() {
+                    Some("conservative") => AliasMode::Conservative,
+                    Some("region") => AliasMode::Region,
+                    Some("precise") => AliasMode::Precise,
+                    _ => usage(),
+                };
+            }
+            "--threads" => {
+                args.threads = it.next().and_then(|v| v.parse::<usize>().ok()).unwrap_or_else(|| usage());
+            }
+            "--dot" => args.dot = Some(it.next().unwrap_or_else(|| usage())),
+            "--emit" => args.emit = Some(it.next().unwrap_or_else(|| usage())),
+            "--comm" => {
+                args.comm = it.next().and_then(|v| v.parse::<u64>().ok()).unwrap_or_else(|| usage());
+            }
+            "--sim" => {
+                let cfg = match it.peek().map(String::as_str) {
+                    Some("half") => {
+                        it.next();
+                        MachineConfig::half_width()
+                    }
+                    Some("full") => {
+                        it.next();
+                        MachineConfig::full_width()
+                    }
+                    _ => MachineConfig::full_width(),
+                };
+                args.sim = Some(cfg);
+            }
+            _ if args.file.is_empty() && !a.starts_with('-') => args.file = a,
+            _ => usage(),
+        }
+    }
+    if args.file.is_empty() {
+        usage();
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let text = match std::fs::read_to_string(&args.file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("dswpc: cannot read {}: {e}", args.file);
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut program = match parse_program(&text) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("dswpc: {}: {e}", args.file);
+            return ExitCode::FAILURE;
+        }
+    };
+    let main_fn = program.main();
+
+    // Profile lazily: multi-threaded inputs (e.g. a previously emitted DSWP
+    // program) cannot run on the single-context interpreter, but they also
+    // need no profile for --run / --sim.
+    let needs_loop =
+        args.dswp || args.stats || args.unroll.is_some() || args.dot.is_some();
+    let baseline = match Interpreter::new(&program).run() {
+        Ok(r) => Some(r),
+        Err(e) => {
+            if needs_loop && args.loop_header.is_none() {
+                eprintln!("dswpc: profiling run failed: {e}");
+                return ExitCode::FAILURE;
+            }
+            None
+        }
+    };
+    let header = args.loop_header.or_else(|| {
+        baseline
+            .as_ref()
+            .and_then(|b| select_loop(&program, main_fn, &b.profile, 2.0))
+    });
+
+    if let Some(header) = header {
+        if let Some(k) = args.unroll {
+            if let Err(e) = unroll_loop(&mut program, main_fn, header, k) {
+                eprintln!("dswpc: unroll failed: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("unrolled {header} x{k}");
+        }
+        if args.alias == AliasMode::Precise {
+            // Derive affine memory facts automatically (mini scalar
+            // evolution) so --alias precise works on unannotated inputs.
+            match annotate_loop_affine(&mut program, main_fn, header) {
+                Ok(s) => eprintln!(
+                    "scev: {} access(es) annotated, {} unanalyzable",
+                    s.annotated, s.unanalyzed
+                ),
+                Err(e) => eprintln!("dswpc: scev failed: {e}"),
+            }
+        }
+        if args.stats {
+            match loop_stats(&program, main_fn, header, args.alias) {
+                Ok(s) => eprintln!(
+                    "loop {header}: depth {}, {} blocks, {} instrs, {} SCCs (largest {})",
+                    s.depth, s.blocks, s.instrs, s.sccs, s.largest_scc
+                ),
+                Err(e) => eprintln!("dswpc: stats failed: {e}"),
+            }
+        }
+        if let Some(path) = &args.dot {
+            match analyze_loop(&program, main_fn, header, args.alias) {
+                Ok(a) => {
+                    let dag = DagScc::compute(&a.pdg.instr_graph());
+                    let dot = dswp_repro::analysis::pdg_to_dot(
+                        a.normalized.function(main_fn),
+                        &a.pdg,
+                        Some(&dag),
+                    );
+                    if let Err(e) = std::fs::write(path, dot) {
+                        eprintln!("dswpc: cannot write {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    eprintln!("wrote PDG to {path}");
+                }
+                Err(e) => eprintln!("dswpc: analysis failed: {e}"),
+            }
+        }
+        if args.dswp {
+            // Re-profile in case unrolling changed block ids/weights.
+            let profile = Interpreter::new(&program).run().map(|r| r.profile);
+            let profile = match profile {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("dswpc: re-profiling failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let opts = DswpOptions {
+                alias: args.alias,
+                max_threads: args.threads,
+                ..DswpOptions::default()
+            };
+            match dswp_loop(&mut program, main_fn, header, &profile, &opts) {
+                Ok(report) => eprintln!(
+                    "DSWP: {} SCCs -> {} stages, flows {}i/{}l/{}f, est. speedup {:.2}x",
+                    report.num_sccs,
+                    report.partitioning.num_threads,
+                    report.artifacts.flows.initial,
+                    report.artifacts.flows.loop_flows,
+                    report.artifacts.flows.final_flows,
+                    report.estimated_speedup
+                ),
+                Err(e) => {
+                    eprintln!("dswpc: DSWP declined: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    } else if args.dswp || args.stats || args.unroll.is_some() {
+        eprintln!("dswpc: no candidate loop found");
+        return ExitCode::FAILURE;
+    }
+
+    if let Some(path) = &args.emit {
+        if let Err(e) = std::fs::write(path, to_text(&program)) {
+            eprintln!("dswpc: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote program to {path}");
+    }
+
+    if args.run {
+        match Executor::new(&program).run() {
+            Ok(r) => {
+                println!("functional: {:?} steps per context", r.steps);
+                print_mem("memory", &r.memory);
+            }
+            Err(e) => {
+                eprintln!("dswpc: execution failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(cfg) = args.sim {
+        let cfg = cfg.with_comm_latency(args.comm);
+        match Machine::new(&program, cfg).run() {
+            Ok(r) => {
+                println!("timing: {} cycles", r.cycles);
+                for (c, s) in r.cores.iter().enumerate() {
+                    println!(
+                        "  core {c}: {} instrs ({} queue ops), IPC {:.2}",
+                        s.retired,
+                        s.queue_ops,
+                        s.ipc(r.cycles)
+                    );
+                }
+                println!(
+                    "  queues: mean occupancy {:.1}, max {}",
+                    r.occupancy.mean(),
+                    r.occupancy.max()
+                );
+                print_mem("memory", &r.memory);
+            }
+            Err(e) => {
+                eprintln!("dswpc: simulation failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_mem(label: &str, mem: &[i64]) {
+    let nonzero: Vec<String> = mem
+        .iter()
+        .enumerate()
+        .filter(|&(_, &v)| v != 0)
+        .take(16)
+        .map(|(a, v)| format!("[{a}]={v}"))
+        .collect();
+    println!("{label}: {}", nonzero.join(" "));
+}

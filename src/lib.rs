@@ -1,0 +1,20 @@
+//! Top-level facade for the DSWP (MICRO 2005) reproduction workspace.
+//!
+//! This crate simply re-exports the workspace crates under one roof so the
+//! examples and integration tests in the repository root can use a single
+//! dependency:
+//!
+//! * [`ir`] — the intermediate representation (`dswp-ir`),
+//! * [`analysis`] — dependence analyses and the PDG (`dswp-analysis`),
+//! * [`dswp`] — the Decoupled Software Pipelining transformation (`dswp`),
+//! * [`sim`] — the dual-core CMP timing model (`dswp-sim`),
+//! * [`workloads`] — the benchmark kernels (`dswp-workloads`).
+//!
+//! See the repository `README.md` for a tour and `DESIGN.md` for the system
+//! inventory.
+
+pub use dswp;
+pub use dswp_analysis as analysis;
+pub use dswp_ir as ir;
+pub use dswp_sim as sim;
+pub use dswp_workloads as workloads;

@@ -1,0 +1,127 @@
+//! Workspace-level integration tests: the complete flow a downstream user
+//! would run — build or pick a workload, profile it, apply DSWP, and
+//! measure it on the CMP model — exercised through the `dswp-repro` facade.
+
+use dswp_repro::analysis::AliasMode;
+use dswp_repro::dswp::{dswp_loop, select_loop, DswpOptions};
+use dswp_repro::ir::interp::Interpreter;
+use dswp_repro::ir::verify::verify_program;
+use dswp_repro::sim::{Executor, Machine, MachineConfig};
+use dswp_repro::workloads::{self, paper_suite, Size};
+
+#[test]
+fn the_readme_flow_works() {
+    // 1. Pick a workload.
+    let w = workloads::mcf::build(Size::Test);
+    let mut program = w.program.clone();
+    let main = program.main();
+
+    // 2. Profile it with the interpreter.
+    let baseline = Interpreter::new(&program).run().unwrap();
+
+    // 3. Let the driver select the candidate loop (Section 4's criterion).
+    let header = select_loop(&program, main, &baseline.profile, 4.0)
+        .expect("mcf has an obvious hot loop");
+    assert_eq!(header, w.header);
+
+    // 4. Transform.
+    let report = dswp_loop(
+        &mut program,
+        main,
+        header,
+        &baseline.profile,
+        &DswpOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(report.partitioning.num_threads, 2);
+    verify_program(&program).unwrap();
+
+    // 5. Run on the dual-core model and compare against the baseline.
+    let sim = Machine::new(&program, MachineConfig::full_width())
+        .run()
+        .unwrap();
+    assert_eq!(sim.memory, baseline.memory);
+    assert_eq!(sim.cores.len(), 2);
+}
+
+#[test]
+fn select_loop_prefers_the_hot_loop() {
+    for w in paper_suite(Size::Test) {
+        let baseline = Interpreter::new(&w.program).run().unwrap();
+        let selected = select_loop(&w.program, w.program.main(), &baseline.profile, 4.0);
+        assert_eq!(selected, Some(w.header), "{}", w.name);
+    }
+}
+
+#[test]
+fn functional_and_timing_engines_agree_on_all_workloads() {
+    for w in paper_suite(Size::Test) {
+        let interp = Interpreter::new(&w.program).run().unwrap();
+        let exec = Executor::new(&w.program).run().unwrap();
+        let sim = Machine::new(&w.program, MachineConfig::full_width())
+            .run()
+            .unwrap();
+        assert_eq!(interp.memory, exec.memory, "{}", w.name);
+        assert_eq!(interp.memory, sim.memory, "{}", w.name);
+        assert_eq!(interp.entry_regs, exec.entry_regs, "{}", w.name);
+        assert_eq!(interp.entry_regs, sim.entry_regs, "{}", w.name);
+    }
+}
+
+#[test]
+fn timing_model_is_deterministic() {
+    let w = workloads::wc::build(Size::Test);
+    let baseline = Interpreter::new(&w.program).run().unwrap();
+    let mut p = w.program.clone();
+    let main = p.main();
+    dswp_loop(&mut p, main, w.header, &baseline.profile, &DswpOptions::default()).unwrap();
+
+    let a = Machine::new(&p, MachineConfig::full_width()).run().unwrap();
+    let b = Machine::new(&p, MachineConfig::full_width()).run().unwrap();
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.memory, b.memory);
+    assert_eq!(a.cores[0], b.cores[0]);
+    assert_eq!(a.occupancy.histogram, b.occupancy.histogram);
+}
+
+#[test]
+fn alias_precision_is_monotone_in_scc_count() {
+    // More precise analysis can only remove dependences, so SCC counts are
+    // monotone non-decreasing with precision on every workload.
+    for w in paper_suite(Size::Test) {
+        let main = w.program.main();
+        let c = dswp_repro::dswp::loop_stats(&w.program, main, w.header, AliasMode::Conservative)
+            .unwrap();
+        let r = dswp_repro::dswp::loop_stats(&w.program, main, w.header, AliasMode::Region)
+            .unwrap();
+        let p = dswp_repro::dswp::loop_stats(&w.program, main, w.header, AliasMode::Precise)
+            .unwrap();
+        assert!(c.sccs <= r.sccs, "{}: {} > {}", w.name, c.sccs, r.sccs);
+        assert!(r.sccs <= p.sccs, "{}: {} > {}", w.name, r.sccs, p.sccs);
+        assert!(c.largest_scc >= r.largest_scc, "{}", w.name);
+        assert!(r.largest_scc >= p.largest_scc, "{}", w.name);
+    }
+}
+
+#[test]
+fn four_stage_pipeline_on_mcf() {
+    // Extension: a 4-context machine running a 3-stage pipeline + baseline
+    // comparison, beyond the paper's dual-core evaluation.
+    let w = workloads::mcf::build(Size::Test);
+    let baseline = Interpreter::new(&w.program).run().unwrap();
+    let main = w.program.main();
+    let analysis =
+        dswp_repro::dswp::analyze_loop(&w.program, main, w.header, AliasMode::Region).unwrap();
+    let n = analysis.dag.len();
+    let part = dswp_repro::dswp::Partitioning::new((0..n).map(|i| i * 3 / n).collect(), 3);
+    let mut p = w.program.clone();
+    let opts = DswpOptions {
+        partitioning: Some(part),
+        max_threads: 3,
+        ..DswpOptions::default()
+    };
+    dswp_loop(&mut p, main, w.header, &baseline.profile, &opts).unwrap();
+    assert_eq!(p.num_threads(), 3);
+    let sim = Machine::new(&p, MachineConfig::full_width()).run().unwrap();
+    assert_eq!(sim.memory, baseline.memory);
+}

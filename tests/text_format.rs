@@ -1,0 +1,45 @@
+//! Tests of the textual IR pipeline a `dswpc` user sees: parse a
+//! hand-written fixture, transform it, emit it, parse the emission, and get
+//! identical results everywhere.
+
+use dswp_repro::dswp::{dswp_loop, select_loop, DswpOptions};
+use dswp_repro::ir::interp::Interpreter;
+use dswp_repro::ir::{parse_program, to_text};
+use dswp_repro::sim::{Executor, Machine, MachineConfig};
+
+const FIXTURE: &str = include_str!("fixtures/list.ir");
+
+#[test]
+fn fixture_parses_and_runs() {
+    let p = parse_program(FIXTURE).unwrap();
+    let r = Interpreter::new(&p).run().unwrap();
+    // Every node's value was incremented: 5,6,7,8 → 6,7,8,9.
+    assert_eq!(r.memory[9], 6);
+    assert_eq!(r.memory[15], 9);
+}
+
+#[test]
+fn fixture_full_cli_pipeline() {
+    let mut p = parse_program(FIXTURE).unwrap();
+    let main = p.main();
+    let baseline = Interpreter::new(&p).run().unwrap();
+    let header = select_loop(&p, main, &baseline.profile, 2.0).unwrap();
+    dswp_loop(&mut p, main, header, &baseline.profile, &DswpOptions::default()).unwrap();
+
+    // Emit → parse → run, as `dswpc --emit` then `dswpc --sim` would.
+    let text = to_text(&p);
+    let reparsed = parse_program(&text).unwrap();
+    let exec = Executor::new(&reparsed).run().unwrap();
+    assert_eq!(exec.memory, baseline.memory);
+    let sim = Machine::new(&reparsed, MachineConfig::full_width()).run().unwrap();
+    assert_eq!(sim.memory, baseline.memory);
+    assert_eq!(sim.cores.len(), 2);
+}
+
+#[test]
+fn parse_errors_are_actionable() {
+    let bad = FIXTURE.replace("r2 = add r2, 1", "r2 = bogus r2, 1");
+    let err = parse_program(&bad).unwrap_err();
+    assert!(err.line > 0);
+    assert!(err.message.contains("bogus"), "{err}");
+}
