@@ -125,13 +125,24 @@ mod tests {
     fn conservative_always_aliases() {
         let r = alias_query(&region(0), &region(1), AliasMode::Conservative);
         assert_eq!(r, AliasResult::ALL);
-        assert!(alias_query(&MemInfo::UNKNOWN, &MemInfo::UNKNOWN, AliasMode::Conservative).any());
+        assert!(alias_query(
+            &MemInfo::UNKNOWN,
+            &MemInfo::UNKNOWN,
+            AliasMode::Conservative
+        )
+        .any());
     }
 
     #[test]
     fn region_mode_disambiguates_distinct_regions() {
-        assert_eq!(alias_query(&region(0), &region(1), AliasMode::Region), AliasResult::NONE);
-        assert_eq!(alias_query(&region(0), &region(0), AliasMode::Region), AliasResult::ALL);
+        assert_eq!(
+            alias_query(&region(0), &region(1), AliasMode::Region),
+            AliasResult::NONE
+        );
+        assert_eq!(
+            alias_query(&region(0), &region(0), AliasMode::Region),
+            AliasResult::ALL
+        );
         // Unknown regions stay conservative.
         assert!(alias_query(&region(0), &MemInfo::UNKNOWN, AliasMode::Region).any());
     }
@@ -151,7 +162,10 @@ mod tests {
         // Unrolled by 2: even and odd slots.
         let even = MemInfo::affine(RegionId(0), 0, 2, 0);
         let odd = MemInfo::affine(RegionId(0), 0, 2, 1);
-        assert_eq!(alias_query(&even, &odd, AliasMode::Precise), AliasResult::NONE);
+        assert_eq!(
+            alias_query(&even, &odd, AliasMode::Precise),
+            AliasResult::NONE
+        );
     }
 
     #[test]

@@ -165,14 +165,12 @@ mod tests {
         g.add_edge(4, 5);
         let deps = control_deps(&g, &[]);
         let pd = PostDomTree::compute(&g, &[]);
-        for q in 0..6 {
+        for (q, dq) in deps.iter().enumerate().take(6) {
             for p in 0..6 {
                 let expected = g.succs(p).len() >= 2
-                    && g.succs(p)
-                        .iter()
-                        .any(|&s| pd.post_dominates(q, s))
+                    && g.succs(p).iter().any(|&s| pd.post_dominates(q, s))
                     && !pd.post_dominates(q, p);
-                assert_eq!(deps[q].contains(&p), expected, "q={q} p={p}");
+                assert_eq!(dq.contains(&p), expected, "q={q} p={p}");
             }
         }
     }

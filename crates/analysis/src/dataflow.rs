@@ -234,15 +234,13 @@ pub fn loop_dataflow(f: &Function, l: &NaturalLoop, liveness: &Liveness) -> Loop
     flow
 }
 
+/// Callback invoked for each register use during a block transfer, with the
+/// state *before* the using instruction's own definition.
+type OnUse<'a> = &'a mut dyn FnMut(Reg, InstrId, &RegState);
+
 /// Applies a block's transfer function to `state`, optionally reporting
-/// register uses through `on_use` (with the state *before* the using
-/// instruction's own definition).
-fn transfer_block(
-    f: &Function,
-    b: BlockId,
-    state: &mut RegState,
-    mut on_use: Option<&mut dyn FnMut(Reg, InstrId, &RegState)>,
-) {
+/// register uses through `on_use`.
+fn transfer_block(f: &Function, b: BlockId, state: &mut RegState, mut on_use: Option<OnUse<'_>>) {
     for &i in f.block(b).instrs() {
         let op = f.op(i);
         if let Some(cb) = on_use.as_deref_mut() {
@@ -335,8 +333,8 @@ mod tests {
         assert!(df.live_ins.contains(&Reg(0)));
         assert!(df.live_ins.contains(&Reg(1)));
         assert!(df.live_ins.contains(&Reg(2))); // n
-        // sum is live-out, defined at 7, and on the zero-trip path the
-        // external value survives.
+                                                // sum is live-out, defined at 7, and on the zero-trip path the
+                                                // external value survives.
         assert!(df.live_outs.contains(&Reg(1)));
         assert!(df.live_out_defs.contains(&(Reg(1), ids[7])));
         assert!(df.live_out_external.contains(&Reg(1)));

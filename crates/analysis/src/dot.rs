@@ -18,7 +18,10 @@ use crate::scc::DagScc;
 pub fn pdg_to_dot(f: &Function, pdg: &Pdg, dag: Option<&DagScc>) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "digraph pdg {{");
-    let _ = writeln!(out, "  rankdir=TB; node [shape=box, fontname=\"monospace\"];");
+    let _ = writeln!(
+        out,
+        "  rankdir=TB; node [shape=box, fontname=\"monospace\"];"
+    );
 
     let label = |n: usize| -> String {
         match pdg.nodes()[n] {
@@ -149,7 +152,7 @@ mod tests {
 
         let dag_dot = dag_to_dot(&dag);
         assert!(dag_dot.starts_with("digraph dag_scc {"));
-        assert_eq!(dag_dot.matches("s0").count() >= 1, true);
+        assert!(dag_dot.matches("s0").count() >= 1);
     }
 
     #[test]

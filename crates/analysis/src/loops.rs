@@ -74,8 +74,7 @@ pub fn find_loops(f: &Function) -> Vec<NaturalLoop> {
         .into_iter()
         .map(|(header, latches)| {
             let body = loop_body(&preds, header, &latches);
-            let mut blocks: Vec<BlockId> =
-                body.iter().map(|&b| BlockId::from_index(b)).collect();
+            let mut blocks: Vec<BlockId> = body.iter().map(|&b| BlockId::from_index(b)).collect();
             blocks.sort();
             let exit_edges = collect_exits(&g, &body);
             NaturalLoop {
@@ -97,10 +96,7 @@ pub fn find_loops(f: &Function) -> Vec<NaturalLoop> {
     for i in 0..loops.len() {
         let mut depth = 1;
         for (j, other) in snapshots.iter().enumerate() {
-            if i != j
-                && other.len() > snapshots[i].len()
-                && snapshots[i].is_subset(other)
-            {
+            if i != j && other.len() > snapshots[i].len() && snapshots[i].is_subset(other) {
                 depth += 1;
             }
         }

@@ -327,7 +327,10 @@ pub fn build_pdg(f: &Function, l: &NaturalLoop, liveness: &Liveness, opts: &PdgO
     let mut ctrl_sources: HashMap<usize, Vec<(usize, bool)>> = HashMap::new();
     for a in &arcs {
         if matches!(a.kind, DepKind::Control) {
-            ctrl_sources.entry(a.dst).or_default().push((a.src, a.carried));
+            ctrl_sources
+                .entry(a.dst)
+                .or_default()
+                .push((a.src, a.carried));
         }
     }
     loop {
@@ -367,7 +370,10 @@ pub fn build_pdg(f: &Function, l: &NaturalLoop, liveness: &Liveness, opts: &PdgO
         for a in new_arcs {
             // CondControl arcs participate in the next round both as
             // propagating arcs and as control sources of their sink.
-            ctrl_sources.entry(a.dst).or_default().push((a.src, a.carried));
+            ctrl_sources
+                .entry(a.dst)
+                .or_default()
+                .push((a.src, a.carried));
             push(&mut arcs, a);
         }
     }
@@ -428,11 +434,7 @@ impl IntraOrder {
         IntraOrder { reach, local }
     }
 
-    fn compare(
-        &self,
-        a: (BlockId, usize),
-        b: (BlockId, usize),
-    ) -> Option<std::cmp::Ordering> {
+    fn compare(&self, a: (BlockId, usize), b: (BlockId, usize)) -> Option<std::cmp::Ordering> {
         let (ba, ia) = (self.local[&a.0], a.1);
         let (bb, ib) = (self.local[&b.0], b.1);
         if ba == bb {
@@ -472,8 +474,15 @@ mod tests {
         let bb7 = f.block("BB7");
         // r1 = outer ptr, r2 = inner ptr, r3 = value, r4 = sum,
         // p1/p2 predicates, r6 = base for final store.
-        let (r1, r2, r3, r4, p1, p2, r6) =
-            (f.reg(), f.reg(), f.reg(), f.reg(), f.reg(), f.reg(), f.reg());
+        let (r1, r2, r3, r4, p1, p2, r6) = (
+            f.reg(),
+            f.reg(),
+            f.reg(),
+            f.reg(),
+            f.reg(),
+            f.reg(),
+            f.reg(),
+        );
         let mut ids = Vec::new();
         f.switch_to(bb1);
         ids.push(f.iconst(r1, 1)); // 0: head of outer list at word 1
@@ -656,9 +665,7 @@ mod tests {
             let l = find_loops(&func)[0].clone();
             let pdg = build_pdg(&func, &l, &liveness, &PdgOptions { alias });
             let dag = DagScc::compute(&pdg.instr_graph());
-            let same = dag.node_scc[pdg.node_of(ld).unwrap()]
-                == dag.node_scc[pdg.node_of(st).unwrap()];
-            same
+            dag.node_scc[pdg.node_of(ld).unwrap()] == dag.node_scc[pdg.node_of(st).unwrap()]
         };
         assert!(build(AliasMode::Conservative));
         assert!(build(AliasMode::Region)); // same region: still tied

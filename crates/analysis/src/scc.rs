@@ -198,7 +198,9 @@ mod tests {
         let mut g = Graph::new(n);
         let mut seed = 0x12345678u64;
         let mut rnd = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (seed >> 33) as usize
         };
         for _ in 0..24 {
@@ -220,9 +222,9 @@ mod tests {
 
         let reach: Vec<Vec<bool>> = (0..n).map(|v| g.reachable(v)).collect();
         let comp_of = |v: usize| sccs.iter().position(|c| c.contains(&v)).unwrap();
-        for u in 0..n {
-            for v in 0..n {
-                let same = reach[u][v] && reach[v][u];
+        for (u, ru) in reach.iter().enumerate() {
+            for (v, rv) in reach.iter().enumerate() {
+                let same = ru[v] && rv[u];
                 assert_eq!(comp_of(u) == comp_of(v), same, "u={u} v={v}");
             }
         }

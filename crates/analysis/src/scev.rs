@@ -192,6 +192,7 @@ pub fn annotate_affine(f: &mut Function, l: &NaturalLoop) -> ScevStats {
     // the previous iteration's value); IV reads must strictly precede the
     // increment, so every analyzed address is a function of the same
     // iteration's pre-increment IV value.
+    #[allow(clippy::too_many_arguments)] // closure bundle; a context struct would only rename the problem
     fn eval(
         f: &Function,
         r: Reg,

@@ -18,10 +18,9 @@
 
 use std::collections::BTreeMap;
 
-use proptest::prelude::*;
-
 use dswp_analysis::{find_loops, loop_dataflow, Liveness, RegDep};
 use dswp_ir::{BlockId, FunctionBuilder, InstrId, Program, ProgramBuilder, Reg};
+use dswp_testutil::{cases, Rng};
 
 const POOL: usize = 4;
 const ITERS: i64 = 8;
@@ -32,13 +31,21 @@ enum BodyOp {
     Mov { d: u8, a: u8 },
 }
 
-fn body_op() -> impl Strategy<Value = BodyOp> {
-    let r = 0u8..POOL as u8;
-    prop_oneof![
-        (r.clone(), r.clone(), r.clone(), 0u8..4)
-            .prop_map(|(d, a, b, k)| BodyOp::Bin { d, a, b, k }),
-        (r.clone(), r).prop_map(|(d, a)| BodyOp::Mov { d, a }),
-    ]
+fn body_op(rng: &mut Rng) -> BodyOp {
+    let r = |rng: &mut Rng| rng.below(POOL) as u8;
+    if rng.bool() {
+        BodyOp::Bin {
+            d: r(rng),
+            a: r(rng),
+            b: r(rng),
+            k: rng.below(4) as u8,
+        }
+    } else {
+        BodyOp::Mov {
+            d: r(rng),
+            a: r(rng),
+        }
+    }
 }
 
 #[derive(Clone, Debug)]
@@ -49,19 +56,25 @@ struct LoopSpec {
     cond: u8,
 }
 
-fn loop_spec() -> impl Strategy<Value = LoopSpec> {
-    (
-        prop::collection::vec(body_op(), 1..5),
-        prop::collection::vec(body_op(), 0..3),
-        prop::collection::vec(body_op(), 0..3),
-        0u8..POOL as u8,
-    )
-        .prop_map(|(straight, then_ops, else_ops, cond)| LoopSpec {
-            straight,
-            then_ops,
-            else_ops,
-            cond,
-        })
+fn loop_spec(rng: &mut Rng) -> LoopSpec {
+    let straight = {
+        let n = rng.range(1, 5);
+        rng.vec(n, body_op)
+    };
+    let then_ops = {
+        let n = rng.below(3);
+        rng.vec(n, body_op)
+    };
+    let else_ops = {
+        let n = rng.below(3);
+        rng.vec(n, body_op)
+    };
+    LoopSpec {
+        straight,
+        then_ops,
+        else_ops,
+        cond: rng.below(POOL) as u8,
+    }
 }
 
 fn emit_ops(f: &mut FunctionBuilder, pool: &[Reg], ops: &[BodyOp]) {
@@ -156,10 +169,15 @@ fn build(spec: &LoopSpec, unrolled: bool) -> Program {
     pb.finish(main, POOL)
 }
 
+/// A position inside a function: (block-name, index-in-block), stable across
+/// unrolling so the base and unrolled programs can be correlated.
+type Pos = (String, usize);
+/// `Pos` prefixed with the replica number a block belongs to.
+type ReplicaPos = (usize, String, usize);
+
 /// Dependences of the candidate loop as `(def position, use position, reg,
-/// carried)` where positions are (block-name, index-in-block) so the base
-/// and unrolled programs can be correlated.
-fn deps_by_position(p: &Program) -> Vec<((String, usize), (String, usize), Reg, bool)> {
+/// carried)`.
+fn deps_by_position(p: &Program) -> Vec<(Pos, Pos, Reg, bool)> {
     let f = p.function(p.main());
     let liveness = Liveness::compute(f);
     let l = find_loops(f)
@@ -176,9 +194,14 @@ fn deps_by_position(p: &Program) -> Vec<((String, usize), (String, usize), Reg, 
         .collect();
     df.reg_deps
         .iter()
-        .map(|&RegDep { def, use_, reg, carried }| {
-            (pos[&def].clone(), pos[&use_].clone(), reg, carried)
-        })
+        .map(
+            |&RegDep {
+                 def,
+                 use_,
+                 reg,
+                 carried,
+             }| { (pos[&def].clone(), pos[&use_].clone(), reg, carried) },
+        )
         .collect()
 }
 
@@ -192,18 +215,18 @@ fn replica_of(name: &str) -> Option<(usize, String)> {
         .map(|d| (d, base.to_string()))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+#[test]
+fn carried_tags_match_the_two_unrolled_oracle() {
+    for seed in 0..cases(48) as u64 {
+        let spec = loop_spec(&mut Rng::new(seed));
 
-    #[test]
-    fn carried_tags_match_the_two_unrolled_oracle(spec in loop_spec()) {
         let base = build(&spec, false);
         let unrolled = build(&spec, true);
         let base_deps = deps_by_position(&base);
         let u_deps = deps_by_position(&unrolled);
 
         // Project the unrolled deps onto (replica, base-name) coordinates.
-        let proj: Vec<((usize, String, usize), (usize, String, usize), Reg, bool)> = u_deps
+        let proj: Vec<(ReplicaPos, ReplicaPos, Reg, bool)> = u_deps
             .iter()
             .filter_map(|((db, di), (ub, ui), r, c)| {
                 let (dk, dn) = replica_of(db)?;
@@ -213,8 +236,12 @@ proptest! {
             .collect();
 
         for ((db, di), (ub, ui), r, carried) in &base_deps {
-            let Some((dn, _)) = replica_of(db) else { continue };
-            let Some((un, _)) = replica_of(ub) else { continue };
+            let Some((dn, _)) = replica_of(db) else {
+                continue;
+            };
+            let Some((un, _)) = replica_of(ub) else {
+                continue;
+            };
             let _ = (dn, un);
             let dname = db.trim_end_matches('0').to_string();
             let uname = ub.trim_end_matches('0').to_string();
@@ -222,20 +249,30 @@ proptest! {
                 // Must appear as R0 → R1 intra, or as a carried dep between
                 // some replica pair.
                 let found = proj.iter().any(|((dk, dn2, di2), (uk, un2, ui2), r2, c2)| {
-                    dn2 == &dname && un2 == &uname && di2 == di && ui2 == ui && r2 == r
+                    dn2 == &dname
+                        && un2 == &uname
+                        && di2 == di
+                        && ui2 == ui
+                        && r2 == r
                         && ((*dk == 0 && *uk == 1 && !c2) || *c2)
                 });
-                prop_assert!(
+                assert!(
                     found,
                     "carried dep {dname}[{di}] -> {uname}[{ui}] ({r}) missing in oracle"
                 );
             } else {
                 // Must appear replica-0-internally, intra.
                 let found = proj.iter().any(|((dk, dn2, di2), (uk, un2, ui2), r2, c2)| {
-                    *dk == 0 && *uk == 0 && dn2 == &dname && un2 == &uname
-                        && di2 == di && ui2 == ui && r2 == r && !c2
+                    *dk == 0
+                        && *uk == 0
+                        && dn2 == &dname
+                        && un2 == &uname
+                        && di2 == di
+                        && ui2 == ui
+                        && r2 == r
+                        && !c2
                 });
-                prop_assert!(
+                assert!(
                     found,
                     "intra dep {dname}[{di}] -> {uname}[{ui}] ({r}) missing in oracle"
                 );
@@ -247,10 +284,14 @@ proptest! {
         for ((dk, dn, di), (uk, un, ui), r, c) in &proj {
             if *dk == 0 && *uk == 0 && !*c {
                 let found = base_deps.iter().any(|((db, di2), (ub, ui2), r2, c2)| {
-                    db.trim_end_matches('0') == dn && ub.trim_end_matches('0') == un
-                        && di2 == di && ui2 == ui && r2 == r && !c2
+                    db.trim_end_matches('0') == dn
+                        && ub.trim_end_matches('0') == un
+                        && di2 == di
+                        && ui2 == ui
+                        && r2 == r
+                        && !c2
                 });
-                prop_assert!(
+                assert!(
                     found,
                     "oracle intra dep {dn}[{di}] -> {un}[{ui}] ({r}) missing in base"
                 );
@@ -260,6 +301,6 @@ proptest! {
         // Sanity: the two programs compute the same result.
         let a = dswp_ir::interp::Interpreter::new(&base).run().unwrap();
         let b = dswp_ir::interp::Interpreter::new(&unrolled).run().unwrap();
-        prop_assert_eq!(a.memory, b.memory);
+        assert_eq!(a.memory, b.memory);
     }
 }

@@ -1,29 +1,28 @@
-//! Property tests checking the core graph analyses against brute-force
-//! oracles on random graphs.
-
-use proptest::prelude::*;
+//! Randomized tests checking the core graph analyses against brute-force
+//! oracles on random graphs. Cases are enumerated from deterministic seeds
+//! (see `dswp-testutil`).
 
 use dswp_analysis::{control_deps, strongly_connected_components, DomTree, Graph, PostDomTree};
+use dswp_testutil::{cases, Rng};
 
-/// A random directed graph with `n` nodes and the given edge list.
-fn graph_strategy(max_n: usize) -> impl Strategy<Value = Graph> {
-    (2usize..max_n).prop_flat_map(|n| {
-        prop::collection::vec((0..n, 0..n), 0..n * 3).prop_map(move |edges| {
-            let mut g = Graph::new(n);
-            // Make node 0 reach a spine so most nodes are reachable.
-            for i in 1..n {
-                if i % 2 == 1 {
-                    g.add_edge(i - 1, i);
-                }
-            }
-            for (a, b) in edges {
-                if a != b {
-                    g.add_edge(a, b);
-                }
-            }
-            g
-        })
-    })
+/// A random directed graph with up to `max_n` nodes.
+fn random_graph(rng: &mut Rng, max_n: usize) -> Graph {
+    let n = rng.range(2, max_n);
+    let mut g = Graph::new(n);
+    // Make node 0 reach a spine so most nodes are reachable.
+    for i in 1..n {
+        if i % 2 == 1 {
+            g.add_edge(i - 1, i);
+        }
+    }
+    for _ in 0..rng.below(n * 3) {
+        let a = rng.below(n);
+        let b = rng.below(n);
+        if a != b {
+            g.add_edge(a, b);
+        }
+    }
+    g
 }
 
 fn brute_dominates(g: &Graph, entry: usize, a: usize, b: usize) -> bool {
@@ -53,25 +52,28 @@ fn brute_dominates(g: &Graph, entry: usize, a: usize, b: usize) -> bool {
     !seen[b]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    #[test]
-    fn dominators_match_brute_force(g in graph_strategy(10)) {
+#[test]
+fn dominators_match_brute_force() {
+    for seed in 0..cases(64) as u64 {
+        let g = random_graph(&mut Rng::new(seed), 10);
         let dom = DomTree::compute(&g, 0);
         for a in 0..g.len() {
             for b in 0..g.len() {
                 let brute = brute_dominates(&g, 0, a, b);
-                prop_assert_eq!(
-                    dom.dominates(a, b), brute,
-                    "a={} b={} graph={:?}", a, b, g
+                assert_eq!(
+                    dom.dominates(a, b),
+                    brute,
+                    "seed={seed} a={a} b={b} graph={g:?}"
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn post_dominance_is_dominance_of_the_reverse(g in graph_strategy(9)) {
+#[test]
+fn post_dominance_is_dominance_of_the_reverse() {
+    for seed in 0..cases(64) as u64 {
+        let g = random_graph(&mut Rng::new(0x504F_5354 ^ seed), 9);
         // Build the reversed graph with a virtual exit feeding all sinks,
         // and check PostDomTree agrees with brute-force dominance there.
         let pd = PostDomTree::compute(&g, &[]);
@@ -88,57 +90,63 @@ proptest! {
         for a in 0..n {
             for b in 0..n {
                 let brute = brute_dominates(&rev, n, a, b);
-                prop_assert_eq!(pd.post_dominates(a, b), brute, "a={} b={}", a, b);
+                assert_eq!(pd.post_dominates(a, b), brute, "seed={seed} a={a} b={b}");
             }
         }
     }
+}
 
-    #[test]
-    fn control_deps_match_definition(g in graph_strategy(9)) {
+#[test]
+fn control_deps_match_definition() {
+    for seed in 0..cases(64) as u64 {
+        let g = random_graph(&mut Rng::new(0x4344_4550 ^ seed), 9);
         // Ferrante-Ottenstein-Warren: q is control dependent on p iff p has
         // a successor s with q post-dominating s, and q does not strictly
         // post-dominate p.
         let deps = control_deps(&g, &[]);
         let pd = PostDomTree::compute(&g, &[]);
-        for q in 0..g.len() {
+        for (q, dq) in deps.iter().enumerate() {
             for p in 0..g.len() {
                 let expected = g.succs(p).len() >= 2
                     && g.succs(p).iter().any(|&s| pd.post_dominates(q, s))
                     && !(q != p && pd.post_dominates(q, p));
-                prop_assert_eq!(
-                    deps[q].contains(&p),
+                assert_eq!(
+                    dq.contains(&p),
                     expected,
-                    "q={} p={} graph={:?}", q, p, g
+                    "seed={seed} q={q} p={p} graph={g:?}"
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn sccs_match_mutual_reachability(g in graph_strategy(12)) {
+#[test]
+fn sccs_match_mutual_reachability() {
+    for seed in 0..cases(64) as u64 {
+        let g = random_graph(&mut Rng::new(0x5343_4353 ^ seed), 12);
         let sccs = strongly_connected_components(&g);
         // Partition: every node in exactly one component.
         let mut owner = vec![usize::MAX; g.len()];
         for (ci, comp) in sccs.iter().enumerate() {
             for &v in comp {
-                prop_assert_eq!(owner[v], usize::MAX);
+                assert_eq!(owner[v], usize::MAX, "seed {seed}");
                 owner[v] = ci;
             }
         }
-        prop_assert!(owner.iter().all(|&o| o != usize::MAX));
+        assert!(owner.iter().all(|&o| o != usize::MAX), "seed {seed}");
 
         let reach: Vec<Vec<bool>> = (0..g.len()).map(|v| g.reachable(v)).collect();
         for u in 0..g.len() {
             for v in 0..g.len() {
                 let same = reach[u][v] && reach[v][u];
-                prop_assert_eq!(owner[u] == owner[v], same, "u={} v={}", u, v);
+                assert_eq!(owner[u] == owner[v], same, "seed={seed} u={u} v={v}");
             }
         }
         // Topological order of components.
         for u in 0..g.len() {
             for &v in g.succs(u) {
                 if owner[u] != owner[v] {
-                    prop_assert!(owner[u] < owner[v]);
+                    assert!(owner[u] < owner[v], "seed {seed}");
                 }
             }
         }

@@ -1,9 +1,14 @@
-//! Criterion micro-benchmarks of the compiler passes and the simulator:
-//! PDG construction, SCC/DAG coalescing, the TPP heuristic, the full DSWP
+//! Micro-benchmarks of the compiler passes and the simulator: PDG
+//! construction, SCC/DAG coalescing, the TPP heuristic, the full DSWP
 //! transformation, and timing-model throughput.
+//!
+//! Uses a small self-contained harness (median-of-samples over
+//! `std::time::Instant`) instead of an external benchmark framework so the
+//! workspace builds with no registry access. Run with
+//! `cargo bench -p dswp-bench --bench pass_costs`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use dswp::{analyze_loop, dswp_loop, scc_costs, tpp_heuristic, DswpOptions, TppOptions};
 use dswp_analysis::{build_pdg, find_loops, AliasMode, DagScc, Liveness, PdgOptions};
@@ -12,7 +17,29 @@ use dswp_ir::LatencyTable;
 use dswp_sim::{Machine, MachineConfig};
 use dswp_workloads::{mcf, Size};
 
-fn bench_passes(c: &mut Criterion) {
+/// Runs `f` repeatedly and prints the median per-iteration time.
+fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    const WARMUP: usize = 3;
+    const SAMPLES: usize = 15;
+    for _ in 0..WARMUP {
+        black_box(f());
+    }
+    let mut times: Vec<u128> = (0..SAMPLES)
+        .map(|_| {
+            let t0 = Instant::now();
+            black_box(f());
+            t0.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    let median = times[SAMPLES / 2];
+    println!(
+        "{name:<32} {:>12.3} µs/iter (median of {SAMPLES})",
+        median as f64 / 1000.0
+    );
+}
+
+fn bench_passes() {
     let w = mcf::build(Size::Test);
     let main = w.program.main();
     let analysis = analyze_loop(&w.program, main, w.header, AliasMode::Region).unwrap();
@@ -20,21 +47,19 @@ fn bench_passes(c: &mut Criterion) {
     let liveness = Liveness::compute(f);
     let profile = Interpreter::new(&w.program).run().unwrap().profile;
 
-    c.bench_function("pdg_build_mcf", |b| {
-        b.iter(|| {
-            build_pdg(
-                black_box(f),
-                &analysis.loop_,
-                &liveness,
-                &PdgOptions {
-                    alias: AliasMode::Region,
-                },
-            )
-        })
+    bench("pdg_build_mcf", || {
+        build_pdg(
+            black_box(f),
+            &analysis.loop_,
+            &liveness,
+            &PdgOptions {
+                alias: AliasMode::Region,
+            },
+        )
     });
 
-    c.bench_function("dag_scc_mcf", |b| {
-        b.iter(|| DagScc::compute(&black_box(&analysis.pdg).instr_graph()))
+    bench("dag_scc_mcf", || {
+        DagScc::compute(&black_box(&analysis.pdg).instr_graph())
     });
 
     let costs = scc_costs(
@@ -45,63 +70,49 @@ fn bench_passes(c: &mut Criterion) {
         &profile,
         &LatencyTable::default(),
     );
-    c.bench_function("tpp_heuristic_mcf", |b| {
-        b.iter(|| tpp_heuristic(black_box(&analysis.dag), &costs, &TppOptions::default()))
+    bench("tpp_heuristic_mcf", || {
+        tpp_heuristic(black_box(&analysis.dag), &costs, &TppOptions::default())
     });
 
-    c.bench_function("dswp_full_transform_mcf", |b| {
-        b.iter(|| {
-            let mut p = w.program.clone();
-            dswp_loop(
-                &mut p,
-                main,
-                w.header,
-                &profile,
-                &DswpOptions::default(),
-            )
-            .unwrap()
-        })
+    bench("dswp_full_transform_mcf", || {
+        let mut p = w.program.clone();
+        dswp_loop(&mut p, main, w.header, &profile, &DswpOptions::default()).unwrap()
     });
 
-    c.bench_function("find_loops_mcf", |b| {
-        b.iter(|| find_loops(black_box(w.program.function(main))))
+    bench("find_loops_mcf", || {
+        find_loops(black_box(w.program.function(main)))
     });
 }
 
-fn bench_simulator(c: &mut Criterion) {
+fn bench_simulator() {
     let w = mcf::build(Size::Test);
-    c.bench_function("timing_sim_mcf_baseline", |b| {
-        b.iter(|| {
-            Machine::new(black_box(&w.program), MachineConfig::full_width())
-                .run()
-                .unwrap()
-        })
+    bench("timing_sim_mcf_baseline", || {
+        Machine::new(black_box(&w.program), MachineConfig::full_width())
+            .run()
+            .unwrap()
     });
 
     let profile = Interpreter::new(&w.program).run().unwrap().profile;
     let mut p = w.program.clone();
     let main = p.main();
     dswp_loop(&mut p, main, w.header, &profile, &DswpOptions::default()).unwrap();
-    c.bench_function("timing_sim_mcf_dswp", |b| {
-        b.iter(|| {
-            Machine::new(black_box(&p), MachineConfig::full_width())
-                .run()
-                .unwrap()
-        })
+    bench("timing_sim_mcf_dswp", || {
+        Machine::new(black_box(&p), MachineConfig::full_width())
+            .run()
+            .unwrap()
     });
 
-    c.bench_function("functional_exec_mcf_dswp", |b| {
-        b.iter(|| dswp_sim::Executor::new(black_box(&p)).run().unwrap())
+    bench("functional_exec_mcf_dswp", || {
+        dswp_sim::Executor::new(black_box(&p)).run().unwrap()
     });
 
-    c.bench_function("interpreter_mcf_baseline", |b| {
-        b.iter(|| Interpreter::new(black_box(&w.program)).run().unwrap())
+    bench("interpreter_mcf_baseline", || {
+        Interpreter::new(black_box(&w.program)).run().unwrap()
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_passes, bench_simulator
+fn main() {
+    println!("pass_costs micro-benchmarks (manual harness)\n");
+    bench_passes();
+    bench_simulator();
 }
-criterion_main!(benches);

@@ -91,7 +91,15 @@ pub fn print_table1(rows: &[Table1Row]) {
     for r in rows {
         println!(
             "{:<12} {:>6.1} {:>5} {:>4} {:>6} {:>7} {:>5} {:>6} {:>5} {:>6}",
-            r.name, r.exec_pct, r.nest, r.bbs, r.calls, r.instrs, r.sccs, r.flows.0, r.flows.1,
+            r.name,
+            r.exec_pct,
+            r.nest,
+            r.bbs,
+            r.calls,
+            r.instrs,
+            r.sccs,
+            r.flows.0,
+            r.flows.1,
             r.flows.2
         );
     }
@@ -315,10 +323,7 @@ pub fn figure9a(exp: &Experiment) -> Vec<Fig9aRow> {
                 base_full.cycles as f64 / simulate(&p, &half).cycles as f64,
                 base_full.cycles as f64 / simulate(&p, &full).cycles as f64,
             ),
-            None => (
-                base_full.cycles as f64 / base_half.cycles as f64,
-                1.0,
-            ),
+            None => (base_full.cycles as f64 / base_half.cycles as f64, 1.0),
         };
         rows.push(Fig9aRow {
             name: w.name,
@@ -482,12 +487,14 @@ pub fn figure1_contrast(exp: &Experiment) -> Vec<(u64, f64, f64)> {
 /// Prints the Figure 1 contrast.
 pub fn print_figure1(rows: &[(u64, f64, f64)]) {
     println!("== Figure 1: DOACROSS vs DSWP on the linked-list loop ==");
-    println!(
-        "{:<14} {:>12} {:>12}",
-        "comm latency", "DOACROSS", "DSWP"
-    );
+    println!("{:<14} {:>12} {:>12}", "comm latency", "DOACROSS", "DSWP");
     for (lat, dx, ds) in rows {
-        println!("{:<14} {:>11.3}x {:>11.3}x", format!("{lat} cycles"), dx, ds);
+        println!(
+            "{:<14} {:>11.3}x {:>11.3}x",
+            format!("{lat} cycles"),
+            dx,
+            ds
+        );
     }
 }
 
@@ -533,20 +540,19 @@ pub fn ilp_study(exp: &Experiment) -> Vec<IlpRow> {
             let _ = unroll_loop(&mut prepared, main, w.header, 2);
         }
         merge_blocks_program(&mut prepared);
-        schedule_program(
-            &mut prepared,
-            &dswp_ir::LatencyTable::default(),
-            exp.alias,
-        );
+        schedule_program(&mut prepared, &dswp_ir::LatencyTable::default(), exp.alias);
         let Ok(prep_run) = Interpreter::new(&prepared).run() else {
             continue;
         };
-        assert_eq!(prep_run.memory, base.memory, "{}: ILP prep diverged", w.name);
+        assert_eq!(
+            prep_run.memory, base.memory,
+            "{}: ILP prep diverged",
+            w.name
+        );
         let ilp_base = simulate(&prepared, &cfg);
         // Counted unrolling splits the loop into a fast loop and a
         // remainder; re-select the hot loop before applying DSWP.
-        let hot = dswp::select_loop(&prepared, main, &prep_run.profile, 2.0)
-            .unwrap_or(w.header);
+        let hot = dswp::select_loop(&prepared, main, &prep_run.profile, 2.0).unwrap_or(w.header);
         let prepared_w = dswp_workloads::Workload {
             name: w.name,
             program: prepared,
@@ -736,7 +742,11 @@ pub fn print_case_studies(exp: &Experiment) {
         if let Some(r) = worst {
             println!(
                 "{:<22} {:>10} {:>14} {:>13}",
-                if promote { "bslive in register:" } else { "bslive in memory:" },
+                if promote {
+                    "bslive in register:"
+                } else {
+                    "bslive in memory:"
+                },
                 r.invalidations,
                 r.false_sharing_invalidations,
                 r.true_sharing_invalidations

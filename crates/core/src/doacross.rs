@@ -214,7 +214,13 @@ pub fn doacross(
         dst.append_op(boundary, Op::Jump { target: recv });
         // Receive: continue flag, then state.
         let cont = dst.new_reg();
-        dst.append_op(recv, Op::Consume { queue: q_in, dst: cont });
+        dst.append_op(
+            recv,
+            Op::Consume {
+                queue: q_in,
+                dst: cont,
+            },
+        );
         dst.append_op(
             recv,
             Op::Br {
@@ -224,14 +230,15 @@ pub fn doacross(
             },
         );
         for &r in &state {
-            dst.append_op(recv_state, Op::Consume { queue: q_in, dst: r });
+            dst.append_op(
+                recv_state,
+                Op::Consume {
+                    queue: q_in,
+                    dst: r,
+                },
+            );
         }
-        dst.append_op(
-            recv_state,
-            Op::Jump {
-                target: copies[0],
-            },
-        );
+        dst.append_op(recv_state, Op::Jump { target: copies[0] });
         // Own exit: notify the peer (with state) and finish.
         dst.append_op(
             own_exit,
@@ -251,7 +258,13 @@ pub fn doacross(
         }
         // Remote exit: adopt the peer's final state.
         for &r in &state {
-            dst.append_op(remote_exit, Op::Consume { queue: q_in, dst: r });
+            dst.append_op(
+                remote_exit,
+                Op::Consume {
+                    queue: q_in,
+                    dst: r,
+                },
+            );
         }
         if core == 0 {
             dst.append_op(
@@ -285,13 +298,8 @@ pub fn doacross(
                 at += 1;
             }
             let pre_term = *dst.block(norm.preheader).instrs().last().unwrap();
-            dst.op_mut(pre_term).map_successors(|s| {
-                if s == l.header {
-                    copies[0]
-                } else {
-                    s
-                }
-            });
+            dst.op_mut(pre_term)
+                .map_successors(|s| if s == l.header { copies[0] } else { s });
         } else {
             dst.append_op(own_exit, Op::Ret);
             dst.append_op(remote_exit, Op::Ret);
@@ -311,7 +319,13 @@ pub fn doacross(
     let bb = mf.add_block("loop");
     mf.set_entry(bb);
     let target = mf.new_reg();
-    mf.append_op(bb, Op::Consume { queue: mq, dst: target });
+    mf.append_op(
+        bb,
+        Op::Consume {
+            queue: mq,
+            dst: target,
+        },
+    );
     mf.append_op(bb, Op::CallInd { target });
     mf.append_op(bb, Op::Jump { target: bb });
     let master_function = program.add_function(mf);

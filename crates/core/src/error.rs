@@ -37,13 +37,19 @@ impl fmt::Display for DswpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DswpError::SingleScc => {
-                write!(f, "dependence graph has a single SCC; loop is not partitionable")
+                write!(
+                    f,
+                    "dependence graph has a single SCC; loop is not partitionable"
+                )
             }
             DswpError::NotProfitable => {
                 write!(f, "no profitable multi-thread partitioning was found")
             }
             DswpError::MultipleExitTargets(t) => {
-                write!(f, "loop has multiple exit targets {t:?}; a single exit target is required")
+                write!(
+                    f,
+                    "loop has multiple exit targets {t:?}; a single exit target is required"
+                )
             }
             DswpError::InvalidPartition(msg) => write!(f, "invalid partitioning: {msg}"),
             DswpError::IneligibleForDoacross(msg) => {

@@ -54,6 +54,7 @@ pub fn scc_costs(
 /// `(source instruction, destination thread)` pair, priced at
 /// `queue_cost × profile_weight(source block)` on both the producing and the
 /// consuming stage.
+#[allow(clippy::too_many_arguments)] // mirrors the analysis products a caller already holds
 pub fn stage_times(
     f: &Function,
     fid: FuncId,
@@ -95,6 +96,7 @@ pub fn stage_times(
 
 /// Estimated speedup of `partitioning` over single-threaded execution
 /// (`total / max stage time`).
+#[allow(clippy::too_many_arguments)] // same signature as `stage_times`
 pub fn estimated_speedup(
     f: &Function,
     fid: FuncId,

@@ -77,17 +77,19 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cleanup;
 pub mod doacross;
 pub mod error;
 pub mod estimate;
 pub mod normalize;
 pub mod partition;
-pub mod cleanup;
 pub mod pipeline;
 pub mod schedule;
+pub mod stage_map;
 pub mod transform;
 pub mod unroll;
 
+pub use cleanup::{merge_blocks, merge_blocks_program, MergeStats};
 pub use doacross::{doacross, DoacrossReport};
 pub use error::DswpError;
 pub use estimate::{estimated_speedup, scc_costs, stage_times, SccCosts};
@@ -97,7 +99,7 @@ pub use pipeline::{
     analyze_loop, annotate_loop_affine, dswp_loop, loop_stats, select_loop, DswpOptions,
     DswpReport, LoopAnalysis, LoopStats,
 };
-pub use transform::{apply_dswp, DswpArtifacts, FlowStats};
 pub use schedule::{schedule_function, schedule_program, ScheduleStats};
-pub use cleanup::{merge_blocks, merge_blocks_program, MergeStats};
+pub use stage_map::{PipelineMap, PipelineMapError, QueueEndpoints, StageInfo};
+pub use transform::{apply_dswp, DswpArtifacts, FlowStats};
 pub use unroll::{unroll_counted, unroll_loop};

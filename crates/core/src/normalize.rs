@@ -54,21 +54,15 @@ pub fn normalize_loop(f: &mut Function, l: &NaturalLoop) -> Result<NormalizedLoo
         f.push_instr(preheader, jump);
     }
     // Retarget every entry edge (predecessor of the header outside the loop).
-    let outside_preds: Vec<BlockId> = f
-        .predecessors()[l.header.index()]
+    let outside_preds: Vec<BlockId> = f.predecessors()[l.header.index()]
         .iter()
         .copied()
         .filter(|&p| !l.contains(p) && p != preheader)
         .collect();
     for p in outside_preds {
         let term = *f.block(p).instrs().last().expect("terminator");
-        f.op_mut(term).map_successors(|t| {
-            if t == l.header {
-                preheader
-            } else {
-                t
-            }
-        });
+        f.op_mut(term)
+            .map_successors(|t| if t == l.header { preheader } else { t });
     }
     // If the header is the function entry, the preheader becomes the entry.
     if f.entry() == l.header {
@@ -85,13 +79,8 @@ pub fn normalize_loop(f: &mut Function, l: &NaturalLoop) -> Result<NormalizedLoo
     }
     for &(from, _) in &l.exit_edges {
         let term = *f.block(from).instrs().last().expect("terminator");
-        f.op_mut(term).map_successors(|t| {
-            if t == exit_target {
-                landing
-            } else {
-                t
-            }
-        });
+        f.op_mut(term)
+            .map_successors(|t| if t == exit_target { landing } else { t });
     }
 
     Ok(NormalizedLoop {

@@ -164,8 +164,12 @@ pub fn tpp_heuristic(dag: &DagScc, costs: &SccCosts, opts: &TppOptions) -> Parti
                     .unwrap_or(std::cmp::Ordering::Equal)
                     .then_with(|| {
                         // Lower outgoing-delta is better, so compare reversed.
-                        outgoing_delta(dag, &assignment, thread, b)
-                            .cmp(&outgoing_delta(dag, &assignment, thread, a))
+                        outgoing_delta(dag, &assignment, thread, b).cmp(&outgoing_delta(
+                            dag,
+                            &assignment,
+                            thread,
+                            a,
+                        ))
                     })
             })
             .expect("DAG with unassigned nodes has a candidate");
@@ -213,10 +217,7 @@ pub fn tpp_heuristic(dag: &DagScc, costs: &SccCosts, opts: &TppOptions) -> Parti
 /// current partition into `cand` that stop being outgoing.
 fn outgoing_delta(dag: &DagScc, assignment: &[usize], thread: usize, cand: usize) -> i64 {
     let out = dag.succs(cand).count() as i64;
-    let resolved = dag
-        .preds(cand)
-        .filter(|&p| assignment[p] == thread)
-        .count() as i64;
+    let resolved = dag.preds(cand).filter(|&p| assignment[p] == thread).count() as i64;
     out - resolved
 }
 

@@ -167,14 +167,7 @@ fn analyze(
     func: FuncId,
     header: BlockId,
     alias: AliasMode,
-) -> Result<
-    (
-        dswp_analysis::Pdg,
-        DagScc,
-        dswp_analysis::NaturalLoop,
-    ),
-    DswpError,
-> {
+) -> Result<(dswp_analysis::Pdg, DagScc, dswp_analysis::NaturalLoop), DswpError> {
     let l = find_loops(program.function(func))
         .into_iter()
         .find(|l| l.header == header)
@@ -251,7 +244,16 @@ pub fn dswp_loop(
             p
         }
     };
-    let est = estimated_speedup(f, func, &pdg, &dag, &partitioning, &costs, profile, opts.latency.queue);
+    let est = estimated_speedup(
+        f,
+        func,
+        &pdg,
+        &dag,
+        &partitioning,
+        &costs,
+        profile,
+        opts.latency.queue,
+    );
     if opts.partitioning.is_none() && est < opts.min_speedup {
         return Err(DswpError::NotProfitable);
     }
@@ -331,9 +333,7 @@ pub fn select_loop(
         let weight: f64 = l
             .blocks
             .iter()
-            .map(|&b| {
-                profile.weight(func, b) as f64 * f.block(b).instrs().len() as f64
-            })
+            .map(|&b| profile.weight(func, b) as f64 * f.block(b).instrs().len() as f64)
             .sum();
         if best.map(|(w, _)| weight > w).unwrap_or(true) {
             best = Some((weight, l.header));

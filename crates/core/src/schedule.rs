@@ -88,12 +88,13 @@ fn schedule_block(
     // preds[i] counts unscheduled predecessors; succs[i] lists dependents.
     let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
     let mut pred_count = vec![0usize; n];
-    let add_edge = |succs: &mut Vec<Vec<usize>>, pred_count: &mut Vec<usize>, a: usize, b: usize| {
-        if !succs[a].contains(&b) {
-            succs[a].push(b);
-            pred_count[b] += 1;
-        }
-    };
+    let add_edge =
+        |succs: &mut Vec<Vec<usize>>, pred_count: &mut Vec<usize>, a: usize, b: usize| {
+            if !succs[a].contains(&b) {
+                succs[a].push(b);
+                pred_count[b] += 1;
+            }
+        };
 
     let ops: Vec<&Op> = instrs.iter().map(|&i| f.op(i)).collect();
     for j in 1..n {
@@ -114,7 +115,13 @@ fn schedule_block(
             let mem_pair = (a.is_mem_read() || a.is_mem_write())
                 && (b.is_mem_read() || b.is_mem_write())
                 && (a.is_mem_write() || b.is_mem_write());
-            if bar && (b.is_mem_read() || b.is_mem_write() || b.is_barrier() || a.is_mem_read() || a.is_mem_write()) {
+            if bar
+                && (b.is_mem_read()
+                    || b.is_mem_write()
+                    || b.is_barrier()
+                    || a.is_mem_read()
+                    || a.is_mem_write())
+            {
                 dep = true;
             }
             if mem_pair && alias_query(&mem_info(a), &mem_info(b), alias).intra {
@@ -151,8 +158,7 @@ fn schedule_block(
         }
     }
     let mut out = Vec::with_capacity(n);
-    while let Some((&key, &i)) = ready.iter().next().map(|(k, v)| (k, v)) {
-        ready.remove(&key);
+    while let Some((_, i)) = ready.pop_first() {
         out.push(instrs[i]);
         for &s in &succs[i] {
             pred_count[s] -= 1;
@@ -211,9 +217,16 @@ mod tests {
         // first ops of each chain in the block.
         let f = p.function(p.main());
         let block = f.block(f.entry());
-        let texts: Vec<String> = block.instrs().iter().map(|&i| f.op(i).to_string()).collect();
+        let texts: Vec<String> = block
+            .instrs()
+            .iter()
+            .map(|&i| f.op(i).to_string())
+            .collect();
         let first_b = texts.iter().position(|t| t == "r1 = 2").unwrap();
-        let last_a_mul = texts.iter().rposition(|t| t.starts_with("r0 = mul")).unwrap();
+        let last_a_mul = texts
+            .iter()
+            .rposition(|t| t.starts_with("r0 = mul"))
+            .unwrap();
         assert!(
             first_b < last_a_mul,
             "chain B should start before chain A finishes: {texts:?}"

@@ -1,0 +1,431 @@
+//! Stage/queue topology metadata for transformed programs.
+//!
+//! The DSWP transformation leaves behind a multi-threaded [`Program`] whose
+//! structure — which functions each pipeline stage executes, and which
+//! stage sits at each end of every synchronization-array queue — is
+//! implicit in the code. The native runtime (`dswp-rt`) and its
+//! differential tests need that structure explicitly: the runtime's SPSC
+//! ring-buffer queues are only correct if every queue really has a single
+//! producer stage and a single consumer stage.
+//!
+//! [`PipelineMap::infer`] recovers the topology statically:
+//!
+//! 1. each stage's function set is the closure of its thread entry over
+//!    direct calls;
+//! 2. indirect calls (the Section 3 master-loop protocol: the main thread
+//!    produces a function id, the master function consumes it and
+//!    `callind`s) are resolved by collecting the constant function ids
+//!    produced onto the queue the `callind`'s register was consumed from,
+//!    iterating to a fixpoint;
+//! 3. queue endpoints are then the stages whose function sets contain a
+//!    produce (resp. consume) on that queue.
+//!
+//! [`PipelineMap::validate`] checks the SPSC discipline and that no queue
+//! is produced into but never consumed.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use dswp_ir::{FuncId, Op, Operand, Program};
+
+/// One pipeline stage (hardware context) of a transformed program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StageInfo {
+    /// The stage's thread-entry function.
+    pub entry: FuncId,
+    /// Every function the stage can execute (entry, direct-call closure,
+    /// and resolved indirect-call targets), in ascending id order.
+    pub functions: Vec<FuncId>,
+}
+
+/// The stages at the two ends of one queue.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct QueueEndpoints {
+    /// Stages containing a `produce`/`produce.token` on this queue.
+    pub producers: Vec<usize>,
+    /// Stages containing a `consume`/`consume.token` on this queue.
+    pub consumers: Vec<usize>,
+}
+
+impl QueueEndpoints {
+    /// Whether the queue appears in any stage at all.
+    pub fn is_used(&self) -> bool {
+        !self.producers.is_empty() || !self.consumers.is_empty()
+    }
+}
+
+/// A violation of the pipeline discipline the native runtime assumes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PipelineMapError {
+    /// More than one stage produces into the queue (violates SPSC).
+    MultipleProducers {
+        /// The offending queue.
+        queue: usize,
+        /// The producing stages.
+        stages: Vec<usize>,
+    },
+    /// More than one stage consumes from the queue (violates SPSC).
+    MultipleConsumers {
+        /// The offending queue.
+        queue: usize,
+        /// The consuming stages.
+        stages: Vec<usize>,
+    },
+    /// A stage produces into a queue no stage consumes: with bounded
+    /// queues the producer eventually blocks forever.
+    NoConsumer {
+        /// The offending queue.
+        queue: usize,
+    },
+    /// A stage consumes from a queue no stage produces into: the consumer
+    /// blocks forever.
+    NoProducer {
+        /// The offending queue.
+        queue: usize,
+    },
+}
+
+impl fmt::Display for PipelineMapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineMapError::MultipleProducers { queue, stages } => {
+                write!(f, "queue {queue} has multiple producer stages {stages:?}")
+            }
+            PipelineMapError::MultipleConsumers { queue, stages } => {
+                write!(f, "queue {queue} has multiple consumer stages {stages:?}")
+            }
+            PipelineMapError::NoConsumer { queue } => {
+                write!(f, "queue {queue} is produced into but never consumed")
+            }
+            PipelineMapError::NoProducer { queue } => {
+                write!(f, "queue {queue} is consumed from but never produced into")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineMapError {}
+
+/// The stage/queue topology of a (transformed) multi-threaded program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PipelineMap {
+    /// One entry per hardware context, in thread order (stage 0 = main).
+    pub stages: Vec<StageInfo>,
+    /// One entry per queue id.
+    pub queues: Vec<QueueEndpoints>,
+}
+
+/// Constant function ids produced onto each queue anywhere in the program
+/// (the master-loop protocol produces `Operand::Imm(fid)`).
+fn produced_fids_per_queue(program: &Program) -> BTreeMap<usize, BTreeSet<FuncId>> {
+    let mut map: BTreeMap<usize, BTreeSet<FuncId>> = BTreeMap::new();
+    for func in program.functions() {
+        for (_, instr) in func.instr_ids() {
+            if let Op::Produce {
+                queue,
+                src: Operand::Imm(v),
+            } = *func.op(instr)
+            {
+                if let Ok(idx) = usize::try_from(v) {
+                    if idx < program.functions().len() {
+                        map.entry(queue.index())
+                            .or_default()
+                            .insert(FuncId::from_index(idx));
+                    }
+                }
+            }
+        }
+    }
+    map
+}
+
+/// Queues a function set consumes from via the `consume r, q; ...;
+/// callind r` master pattern.
+fn callind_source_queues(program: &Program, funcs: &BTreeSet<FuncId>) -> BTreeSet<usize> {
+    let mut queues = BTreeSet::new();
+    for &fid in funcs {
+        let func = program.function(fid);
+        if !func
+            .instr_ids()
+            .any(|(_, i)| matches!(func.op(i), Op::CallInd { .. }))
+        {
+            continue;
+        }
+        // Conservative: any queue this function consumes could feed the
+        // indirect call's register.
+        for (_, instr) in func.instr_ids() {
+            if let Op::Consume { queue, .. } = func.op(instr) {
+                queues.insert(queue.index());
+            }
+        }
+    }
+    queues
+}
+
+impl PipelineMap {
+    /// Recovers the stage/queue topology of `program`.
+    pub fn infer(program: &Program) -> Self {
+        let num_queues = program.num_queues as usize;
+        let fid_candidates = produced_fids_per_queue(program);
+
+        // Per-stage function closure, to a fixpoint over indirect calls.
+        let mut stage_funcs: Vec<BTreeSet<FuncId>> = program
+            .thread_entries()
+            .iter()
+            .map(|&entry| {
+                let mut set = BTreeSet::new();
+                direct_closure(program, entry, &mut set);
+                set
+            })
+            .collect();
+        loop {
+            let mut changed = false;
+            for funcs in &mut stage_funcs {
+                for q in callind_source_queues(program, funcs) {
+                    if let Some(fids) = fid_candidates.get(&q) {
+                        for &fid in fids {
+                            if !funcs.contains(&fid) {
+                                direct_closure(program, fid, funcs);
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Queue endpoints from the per-stage closures.
+        let mut queues = vec![QueueEndpoints::default(); num_queues];
+        for (stage, funcs) in stage_funcs.iter().enumerate() {
+            for &fid in funcs {
+                let func = program.function(fid);
+                for (_, instr) in func.instr_ids() {
+                    match *func.op(instr) {
+                        Op::Produce { queue, .. } | Op::ProduceToken { queue } => {
+                            push_unique(&mut queues[queue.index()].producers, stage);
+                        }
+                        Op::Consume { queue, .. } | Op::ConsumeToken { queue } => {
+                            push_unique(&mut queues[queue.index()].consumers, stage);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+
+        let stages = program
+            .thread_entries()
+            .iter()
+            .zip(&stage_funcs)
+            .map(|(&entry, funcs)| StageInfo {
+                entry,
+                functions: funcs.iter().copied().collect(),
+            })
+            .collect();
+        PipelineMap { stages, queues }
+    }
+
+    /// Checks the discipline the native runtime's SPSC queues assume:
+    /// every used queue has exactly one producer stage and exactly one
+    /// consumer stage.
+    pub fn validate(&self) -> Result<(), PipelineMapError> {
+        for (q, ep) in self.queues.iter().enumerate() {
+            if ep.producers.len() > 1 {
+                return Err(PipelineMapError::MultipleProducers {
+                    queue: q,
+                    stages: ep.producers.clone(),
+                });
+            }
+            if ep.consumers.len() > 1 {
+                return Err(PipelineMapError::MultipleConsumers {
+                    queue: q,
+                    stages: ep.consumers.clone(),
+                });
+            }
+            if !ep.producers.is_empty() && ep.consumers.is_empty() {
+                return Err(PipelineMapError::NoConsumer { queue: q });
+            }
+            if ep.producers.is_empty() && !ep.consumers.is_empty() {
+                return Err(PipelineMapError::NoProducer { queue: q });
+            }
+        }
+        Ok(())
+    }
+
+    /// `true` when [`validate`](Self::validate) passes.
+    pub fn is_spsc(&self) -> bool {
+        self.validate().is_ok()
+    }
+
+    /// Human-readable one-line-per-item summary (used by `dswpc`).
+    pub fn summary(&self, program: &Program) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (i, stage) in self.stages.iter().enumerate() {
+            let names: Vec<&str> = stage
+                .functions
+                .iter()
+                .map(|&f| program.function(f).name.as_str())
+                .collect();
+            let _ = writeln!(out, "stage {i}: {}", names.join(", "));
+        }
+        for (q, ep) in self.queues.iter().enumerate() {
+            if !ep.is_used() {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "queue {q}: stage {} -> stage {}",
+                fmt_stages(&ep.producers),
+                fmt_stages(&ep.consumers)
+            );
+        }
+        out
+    }
+}
+
+fn fmt_stages(stages: &[usize]) -> String {
+    match stages {
+        [] => "-".to_string(),
+        [s] => s.to_string(),
+        many => format!("{many:?}"),
+    }
+}
+
+fn push_unique(v: &mut Vec<usize>, stage: usize) {
+    if !v.contains(&stage) {
+        v.push(stage);
+    }
+}
+
+/// Adds `root` and everything reachable from it through direct calls to
+/// `out`.
+fn direct_closure(program: &Program, root: FuncId, out: &mut BTreeSet<FuncId>) {
+    let mut work = vec![root];
+    while let Some(fid) = work.pop() {
+        if !out.insert(fid) {
+            continue;
+        }
+        let func = program.function(fid);
+        for (_, instr) in func.instr_ids() {
+            if let Op::Call { callee } = *func.op(instr) {
+                if !out.contains(&callee) {
+                    work.push(callee);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dswp_ir::{ProgramBuilder, QueueId};
+
+    /// A hand-built two-stage pipeline with a master-loop aux thread:
+    /// main produces the aux loop's fid on queue 0 and data on queue 1.
+    fn master_loop_program() -> Program {
+        let mut pb = ProgramBuilder::new();
+
+        let mut w = pb.function("aux_loop");
+        let e = w.entry_block();
+        let v = w.reg();
+        w.switch_to(e);
+        w.consume(v, QueueId(1));
+        w.ret();
+        let aux_loop = w.finish();
+
+        let mut f = pb.function("main");
+        let e = f.entry_block();
+        let x = f.reg();
+        f.switch_to(e);
+        f.iconst(x, 5);
+        f.produce(QueueId(0), aux_loop.index() as i64);
+        f.produce(QueueId(1), x);
+        f.produce(QueueId(0), -1);
+        f.halt();
+        let main = f.finish();
+
+        let mut m = pb.function("master");
+        let e = m.entry_block();
+        let loop_ = m.block("loop");
+        let fid = m.reg();
+        m.switch_to(e);
+        m.jump(loop_);
+        m.switch_to(loop_);
+        m.consume(fid, QueueId(0));
+        m.call_ind(fid);
+        m.jump(loop_);
+        let master = m.finish();
+
+        let mut p = pb.finish(main, 4);
+        p.num_queues = 2;
+        p.add_thread(master);
+        p
+    }
+
+    #[test]
+    fn resolves_master_loop_indirect_calls() {
+        let p = master_loop_program();
+        let map = PipelineMap::infer(&p);
+        assert_eq!(map.stages.len(), 2);
+        // Stage 1 (master) picks up aux_loop through the callind fixpoint.
+        let aux = p.function_by_name("aux_loop").unwrap();
+        assert!(map.stages[1].functions.contains(&aux));
+        // Queue 0: main -> master; queue 1: main -> aux (stage 1).
+        assert_eq!(map.queues[0].producers, vec![0]);
+        assert_eq!(map.queues[0].consumers, vec![1]);
+        assert_eq!(map.queues[1].producers, vec![0]);
+        assert_eq!(map.queues[1].consumers, vec![1]);
+        assert!(map.is_spsc());
+    }
+
+    #[test]
+    fn single_thread_program_has_one_stage() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let e = f.entry_block();
+        f.switch_to(e);
+        f.halt();
+        let main = f.finish();
+        let p = pb.finish(main, 0);
+        let map = PipelineMap::infer(&p);
+        assert_eq!(map.stages.len(), 1);
+        assert!(map.queues.is_empty());
+        assert!(map.is_spsc());
+    }
+
+    #[test]
+    fn detects_spsc_violations() {
+        // Both threads produce into queue 0; nobody consumes it.
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let e = f.entry_block();
+        let x = f.reg();
+        f.switch_to(e);
+        f.produce(QueueId(0), x);
+        f.halt();
+        let main = f.finish();
+        let mut g = pb.function("aux");
+        let e2 = g.entry_block();
+        let y = g.reg();
+        g.switch_to(e2);
+        g.produce(QueueId(0), y);
+        g.halt();
+        let aux = g.finish();
+        let mut p = pb.finish(main, 0);
+        p.num_queues = 1;
+        p.add_thread(aux);
+        let map = PipelineMap::infer(&p);
+        assert_eq!(
+            map.validate(),
+            Err(PipelineMapError::MultipleProducers {
+                queue: 0,
+                stages: vec![0, 1]
+            })
+        );
+    }
+}

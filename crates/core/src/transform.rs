@@ -139,8 +139,8 @@ pub fn apply_dswp(
 
     // ---- relevant blocks + transitive branch-flag closure per thread ----
     let mut relevant: Vec<BTreeSet<BlockId>> = vec![BTreeSet::new(); n];
-    for t in 0..n {
-        relevant[t].insert(loop_.header);
+    for rel in relevant.iter_mut() {
+        rel.insert(loop_.header);
     }
     for &b in &loop_.blocks {
         for &i in src.block(b).instrs() {
@@ -196,7 +196,9 @@ pub fn apply_dswp(
         let dswp_analysis::PdgNode::LiveIn(r) = pdg.nodes()[a.src] else {
             continue;
         };
-        let Some(v) = pdg.instr_of(a.dst) else { continue };
+        let Some(v) = pdg.instr_of(a.dst) else {
+            continue;
+        };
         let tv = thread_of(v).unwrap();
         if tv > 0 {
             live_in_needs[tv].insert(r);
@@ -442,8 +444,8 @@ pub fn apply_dswp(
             // Final consumes at the top of the landing block, in queue
             // order, then the completion tokens.
             let mut at = 0usize;
-            for t2 in 1..n {
-                for (&r, &q) in &final_queues[t2] {
+            for fq in final_queues.iter().take(n).skip(1) {
+                for (&r, &q) in fq {
                     let id = dst.add_instr(Op::Consume { queue: q, dst: r });
                     dst.insert_instr(norm.landing, at, id);
                     at += 1;
@@ -504,8 +506,8 @@ pub fn apply_dswp(
             dst.insert_instr(norm.preheader, at, id);
             at += 1;
         }
-        for t in 1..n {
-            for (&r, &q) in &init_queues[t] {
+        for iq in init_queues.iter().take(n).skip(1) {
+            for (&r, &q) in iq {
                 let id = dst.add_instr(Op::Produce {
                     queue: q,
                     src: Operand::Reg(r),
@@ -523,7 +525,13 @@ pub fn apply_dswp(
         let bb = mf.add_block("loop");
         mf.set_entry(bb);
         let target = mf.new_reg();
-        mf.append_op(bb, Op::Consume { queue: mq, dst: target });
+        mf.append_op(
+            bb,
+            Op::Consume {
+                queue: mq,
+                dst: target,
+            },
+        );
         mf.append_op(bb, Op::CallInd { target });
         mf.append_op(bb, Op::Jump { target: bb });
         let fid = program.add_function(mf);

@@ -283,13 +283,7 @@ pub fn unroll_counted(
                 let mut op = src.op(ins).clone();
                 op.map_regs(|r| rename.get(&r).copied().unwrap_or(r));
                 if op.is_terminator() {
-                    op.map_successors(|s| {
-                        if s == header {
-                            next_entry
-                        } else {
-                            map[&s]
-                        }
-                    });
+                    op.map_successors(|s| if s == header { next_entry } else { map[&s] });
                 }
                 f.append_op(nb, op);
             }
@@ -313,7 +307,8 @@ pub fn unroll_counted(
         .collect();
     for p in outside {
         let term = *f.block(p).instrs().last().expect("terminator");
-        f.op_mut(term).map_successors(|s| if s == header { fast_h } else { s });
+        f.op_mut(term)
+            .map_successors(|s| if s == header { fast_h } else { s });
     }
     if f.entry() == header {
         f.set_entry(fast_h);

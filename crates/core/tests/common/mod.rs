@@ -64,8 +64,15 @@ pub fn figure2_kernel() -> Kernel {
     let bb5 = f.block("BB5");
     let bb6 = f.block("BB6");
     let bb7 = f.block("BB7");
-    let (r1, r2, r3, r4, p1, p2, r6) =
-        (f.reg(), f.reg(), f.reg(), f.reg(), f.reg(), f.reg(), f.reg());
+    let (r1, r2, r3, r4, p1, p2, r6) = (
+        f.reg(),
+        f.reg(),
+        f.reg(),
+        f.reg(),
+        f.reg(),
+        f.reg(),
+        f.reg(),
+    );
     f.switch_to(bb1);
     f.iconst(r1, 1);
     f.iconst(r4, 0);

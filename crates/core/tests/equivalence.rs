@@ -45,8 +45,14 @@ fn serial_loop_is_rejected_as_single_scc() {
     let baseline = Interpreter::new(&kernel.program).run().unwrap();
     let mut p = kernel.program.clone();
     let main = p.main();
-    let err = dswp_loop(&mut p, main, kernel.header, &baseline.profile, &default_opts())
-        .unwrap_err();
+    let err = dswp_loop(
+        &mut p,
+        main,
+        kernel.header,
+        &baseline.profile,
+        &default_opts(),
+    )
+    .unwrap_err();
     assert_eq!(err, DswpError::SingleScc);
 }
 
@@ -171,7 +177,11 @@ fn queue_occupancy_shows_decoupling() {
     let (p, _) = check_dswp(&kernel, &default_opts());
     let sim = Machine::new(&p, MachineConfig::full_width()).run().unwrap();
     // The producer runs ahead: some cycles must have buffered entries.
-    assert!(sim.occupancy.max() > 1, "occupancy {:?}", sim.occupancy.max());
+    assert!(
+        sim.occupancy.max() > 1,
+        "occupancy {:?}",
+        sim.occupancy.max()
+    );
 }
 
 #[test]

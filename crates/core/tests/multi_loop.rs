@@ -3,7 +3,6 @@
 //! protocol (per-loop auxiliary functions, per-thread master loops,
 //! terminate sentinels at every pre-existing halt).
 
-
 use dswp::{dswp_loop, DswpOptions};
 use dswp_analysis::AliasMode;
 use dswp_ir::interp::Interpreter;
@@ -82,11 +81,7 @@ fn two_loop_program(n: i64) -> (Program, BlockId, BlockId) {
     for k in 0..n as usize {
         mem[8 + k] = (k as i64 * 31 + 11) % 500;
     }
-    (
-        pb.finish_with_memory(main, mem),
-        BlockId(1),
-        BlockId(4),
-    )
+    (pb.finish_with_memory(main, mem), BlockId(1), BlockId(4))
 }
 
 #[test]

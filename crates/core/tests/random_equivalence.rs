@@ -1,14 +1,13 @@
-//! Property-based testing of the DSWP transformation: random structured
-//! loops (nested diamonds/sequences of random arithmetic, loads, stores)
-//! must be observationally equivalent after DSWP under the heuristic *and*
-//! under every enumerated valid partitioning.
+//! Randomized testing of the DSWP transformation: random structured loops
+//! (nested diamonds/sequences of random arithmetic, loads, stores) must be
+//! observationally equivalent after DSWP under the heuristic *and* under
+//! every enumerated valid partitioning.
 //!
 //! This is the repository's strongest correctness evidence: the generator
 //! produces loops with conditional stores, conditionally updated live-outs,
 //! cross-iteration register recurrences and aliasing memory traffic, and
-//! the oracle is exact (final memory image).
-
-use proptest::prelude::*;
+//! the oracle is exact (final memory image). Cases are enumerated from
+//! deterministic seeds (see `dswp-testutil`).
 
 use dswp::{analyze_loop, dswp_loop, enumerate_two_thread, DswpError, DswpOptions};
 use dswp_analysis::AliasMode;
@@ -16,6 +15,7 @@ use dswp_ir::interp::Interpreter;
 use dswp_ir::verify::verify_program;
 use dswp_ir::{BlockId, FunctionBuilder, Program, ProgramBuilder, Reg, RegionId};
 use dswp_sim::{Executor, Machine, MachineConfig};
+use dswp_testutil::{cases, Rng};
 
 /// Number of general-purpose pool registers the generator plays with.
 const POOL: usize = 6;
@@ -49,31 +49,71 @@ enum Shape {
     Diamond(u8, Box<Shape>, Box<Shape>),
 }
 
-fn leaf_op() -> impl Strategy<Value = LeafOp> {
-    let r = 0u8..POOL as u8;
-    prop_oneof![
-        (r.clone(), r.clone(), r.clone(), 0u8..8).prop_map(|(d, a, b, k)| LeafOp::Bin { d, a, b, k }),
-        (r.clone(), r.clone(), r.clone(), 0u8..4).prop_map(|(d, a, b, k)| LeafOp::Cmp { d, a, b, k }),
-        (r.clone(), r.clone(), any::<bool>()).prop_map(|(d, a, r)| LeafOp::Load { d, a, r }),
-        (r.clone(), r.clone(), any::<bool>()).prop_map(|(s, a, r)| LeafOp::Store { s, a, r }),
-        (r.clone(), 0u8..8, any::<bool>()).prop_map(|(d, k, r)| LeafOp::IdxLoad { d, k, r }),
-        (r, 0u8..8, any::<bool>()).prop_map(|(s, k, r)| LeafOp::IdxStore { s, k, r }),
-    ]
+fn leaf_op(rng: &mut Rng) -> LeafOp {
+    let r = |rng: &mut Rng| rng.below(POOL) as u8;
+    match rng.below(6) {
+        0 => LeafOp::Bin {
+            d: r(rng),
+            a: r(rng),
+            b: r(rng),
+            k: rng.below(8) as u8,
+        },
+        1 => LeafOp::Cmp {
+            d: r(rng),
+            a: r(rng),
+            b: r(rng),
+            k: rng.below(4) as u8,
+        },
+        2 => LeafOp::Load {
+            d: r(rng),
+            a: r(rng),
+            r: rng.bool(),
+        },
+        3 => LeafOp::Store {
+            s: r(rng),
+            a: r(rng),
+            r: rng.bool(),
+        },
+        4 => LeafOp::IdxLoad {
+            d: r(rng),
+            k: rng.below(8) as u8,
+            r: rng.bool(),
+        },
+        _ => LeafOp::IdxStore {
+            s: r(rng),
+            k: rng.below(8) as u8,
+            r: rng.bool(),
+        },
+    }
 }
 
-fn shape(depth: u32) -> BoxedStrategy<Shape> {
-    let leaf = prop::collection::vec(leaf_op(), 1..5).prop_map(Shape::Leaf);
+fn shape(rng: &mut Rng, depth: u32) -> Shape {
+    let leaf = |rng: &mut Rng| {
+        let n = rng.range(1, 5);
+        Shape::Leaf(rng.vec(n, leaf_op))
+    };
     if depth == 0 {
-        return leaf.boxed();
+        return leaf(rng);
     }
-    prop_oneof![
-        3 => leaf,
-        2 => (shape(depth - 1), shape(depth - 1))
-            .prop_map(|(a, b)| Shape::Seq(Box::new(a), Box::new(b))),
-        2 => (0u8..POOL as u8, shape(depth - 1), shape(depth - 1))
-            .prop_map(|(c, a, b)| Shape::Diamond(c, Box::new(a), Box::new(b))),
-    ]
-    .boxed()
+    // Weights mirror the original strategy: 3 leaf : 2 seq : 2 diamond.
+    match rng.below(7) {
+        0..=2 => leaf(rng),
+        3 | 4 => {
+            let a = shape(rng, depth - 1);
+            let b = shape(rng, depth - 1);
+            Shape::Seq(Box::new(a), Box::new(b))
+        }
+        _ => {
+            let c = rng.below(POOL) as u8;
+            let a = shape(rng, depth - 1);
+            let b = shape(rng, depth - 1);
+            Shape::Diamond(c, Box::new(a), Box::new(b))
+        }
+    }
+}
+
+fn pool_seeds(rng: &mut Rng) -> Vec<i64> {
+    rng.vec(POOL, |r| r.range_i64(-50, 50))
 }
 
 struct Emitter {
@@ -241,18 +281,13 @@ fn build_program(body: &Shape, seeds: &[i64]) -> Program {
     pb.finish_with_memory(main, mem)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 48,
-        max_shrink_iters: 200,
-        ..ProptestConfig::default()
-    })]
+#[test]
+fn random_loops_survive_dswp() {
+    for seed in 0..cases(48) as u64 {
+        let mut rng = Rng::new(seed);
+        let body = shape(&mut rng, 2);
+        let seeds = pool_seeds(&mut rng);
 
-    #[test]
-    fn random_loops_survive_dswp(
-        body in shape(2),
-        seeds in prop::collection::vec(-50i64..50, POOL),
-    ) {
         let program = build_program(&body, &seeds);
         verify_program(&program).expect("generated program verifies");
         let baseline = Interpreter::new(&program).run().expect("baseline runs");
@@ -271,10 +306,10 @@ proptest! {
             Ok(_) => {
                 verify_program(&p).expect("transformed program verifies");
                 let exec = Executor::new(&p).run().expect("no deadlock");
-                prop_assert_eq!(&exec.memory, &baseline.memory);
+                assert_eq!(&exec.memory, &baseline.memory, "seed {seed}");
             }
             Err(DswpError::SingleScc | DswpError::NotProfitable) => {}
-            Err(e) => prop_assert!(false, "unexpected DSWP error: {e}"),
+            Err(e) => panic!("seed {seed}: unexpected DSWP error: {e}"),
         }
 
         // A handful of enumerated valid partitionings.
@@ -289,16 +324,22 @@ proptest! {
                 dswp_loop(&mut p, main, header, &baseline.profile, &opts)
                     .expect("valid partitioning transforms");
                 let exec = Executor::new(&p).run().expect("no deadlock");
-                prop_assert_eq!(&exec.memory, &baseline.memory, "partition {:?}", part);
+                assert_eq!(
+                    &exec.memory, &baseline.memory,
+                    "seed {seed} partition {part:?}"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn random_loops_survive_scev_then_precise_dswp(
-        body in shape(2),
-        seeds in prop::collection::vec(-50i64..50, POOL),
-    ) {
+#[test]
+fn random_loops_survive_scev_then_precise_dswp() {
+    for seed in 0..cases(48) as u64 {
+        let mut rng = Rng::new(0x5343_4556 ^ seed);
+        let body = shape(&mut rng, 2);
+        let seeds = pool_seeds(&mut rng);
+
         let program = build_program(&body, &seeds);
         let baseline = Interpreter::new(&program).run().expect("baseline runs");
         let main = program.main();
@@ -306,7 +347,7 @@ proptest! {
         let mut p = program.clone();
         dswp::annotate_loop_affine(&mut p, main, BlockId(1)).expect("scev runs");
         let annotated = Interpreter::new(&p).run().expect("annotated runs");
-        prop_assert_eq!(&annotated.memory, &baseline.memory);
+        assert_eq!(&annotated.memory, &baseline.memory, "seed {seed}");
 
         let opts = DswpOptions {
             alias: AliasMode::Precise,
@@ -315,27 +356,28 @@ proptest! {
         };
         if dswp_loop(&mut p, main, BlockId(1), &annotated.profile, &opts).is_ok() {
             let exec = Executor::new(&p).run().expect("no deadlock");
-            prop_assert_eq!(&exec.memory, &baseline.memory,
-                "scev-derived precise analysis licensed a wrong split");
+            assert_eq!(
+                &exec.memory, &baseline.memory,
+                "seed {seed}: scev-derived precise analysis licensed a wrong split"
+            );
         }
     }
+}
 
-    #[test]
-    fn random_loops_survive_list_scheduling(
-        body in shape(2),
-        seeds in prop::collection::vec(-50i64..50, POOL),
-    ) {
+#[test]
+fn random_loops_survive_list_scheduling() {
+    for seed in 0..cases(48) as u64 {
+        let mut rng = Rng::new(0x5343_4845 ^ seed);
+        let body = shape(&mut rng, 2);
+        let seeds = pool_seeds(&mut rng);
+
         let program = build_program(&body, &seeds);
         let baseline = Interpreter::new(&program).run().expect("baseline runs");
         let mut s = program.clone();
-        dswp::schedule_program(
-            &mut s,
-            &dswp_ir::LatencyTable::default(),
-            AliasMode::Region,
-        );
+        dswp::schedule_program(&mut s, &dswp_ir::LatencyTable::default(), AliasMode::Region);
         verify_program(&s).expect("scheduled program verifies");
         let after = Interpreter::new(&s).run().expect("scheduled runs");
-        prop_assert_eq!(&after.memory, &baseline.memory);
+        assert_eq!(&after.memory, &baseline.memory, "seed {seed}");
 
         // Scheduling composes with DSWP.
         let main = s.main();
@@ -346,16 +388,19 @@ proptest! {
         };
         if dswp_loop(&mut s, main, BlockId(1), &after.profile, &opts).is_ok() {
             let exec = Executor::new(&s).run().expect("no deadlock");
-            prop_assert_eq!(&exec.memory, &baseline.memory);
+            assert_eq!(&exec.memory, &baseline.memory, "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn random_loops_survive_unrolling_then_dswp(
-        body in shape(1),
-        seeds in prop::collection::vec(-50i64..50, POOL),
-        factor in 2usize..4,
-    ) {
+#[test]
+fn random_loops_survive_unrolling_then_dswp() {
+    for seed in 0..cases(48) as u64 {
+        let mut rng = Rng::new(0x554E_524C ^ seed);
+        let body = shape(&mut rng, 1);
+        let seeds = pool_seeds(&mut rng);
+        let factor = rng.range(2, 4);
+
         let program = build_program(&body, &seeds);
         let baseline = Interpreter::new(&program).run().expect("baseline runs");
         let main = program.main();
@@ -364,7 +409,7 @@ proptest! {
         dswp::unroll_loop(&mut u, main, BlockId(1), factor).expect("unrolls");
         verify_program(&u).expect("unrolled program verifies");
         let after = Interpreter::new(&u).run().expect("unrolled runs");
-        prop_assert_eq!(&after.memory, &baseline.memory);
+        assert_eq!(&after.memory, &baseline.memory, "seed {seed}");
 
         let opts = DswpOptions {
             alias: AliasMode::Region,
@@ -373,15 +418,18 @@ proptest! {
         };
         if dswp_loop(&mut u, main, BlockId(1), &after.profile, &opts).is_ok() {
             let exec = Executor::new(&u).run().expect("no deadlock");
-            prop_assert_eq!(&exec.memory, &baseline.memory);
+            assert_eq!(&exec.memory, &baseline.memory, "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn random_loops_survive_dswp_on_the_timing_model(
-        body in shape(1),
-        seeds in prop::collection::vec(-50i64..50, POOL),
-    ) {
+#[test]
+fn random_loops_survive_dswp_on_the_timing_model() {
+    for seed in 0..cases(48) as u64 {
+        let mut rng = Rng::new(0x5449_4D45 ^ seed);
+        let body = shape(&mut rng, 1);
+        let seeds = pool_seeds(&mut rng);
+
         let program = build_program(&body, &seeds);
         let baseline = Interpreter::new(&program).run().expect("baseline runs");
         let main = program.main();
@@ -395,7 +443,7 @@ proptest! {
             let sim = Machine::new(&p, MachineConfig::full_width())
                 .run()
                 .expect("timing model runs");
-            prop_assert_eq!(&sim.memory, &baseline.memory);
+            assert_eq!(&sim.memory, &baseline.memory, "seed {seed}");
         }
     }
 }

@@ -127,22 +127,24 @@ fn every_queue_has_exactly_one_producer_and_consumer_site_pairing() {
         for (fi, f) in p.functions().iter().enumerate() {
             for (_, i) in f.instr_ids() {
                 match f.op(i) {
-                    Op::Produce { queue, .. } | Op::ProduceToken { queue }
-                        if queue.0 == q =>
-                    {
+                    Op::Produce { queue, .. } | Op::ProduceToken { queue } if queue.0 == q => {
                         producers.insert(fi);
                     }
-                    Op::Consume { queue, .. } | Op::ConsumeToken { queue }
-                        if queue.0 == q =>
-                    {
+                    Op::Consume { queue, .. } | Op::ConsumeToken { queue } if queue.0 == q => {
                         consumers.insert(fi);
                     }
                     _ => {}
                 }
             }
         }
-        assert!(producers.len() <= 1, "queue q{q} produced from {producers:?}");
-        assert!(consumers.len() <= 1, "queue q{q} consumed from {consumers:?}");
+        assert!(
+            producers.len() <= 1,
+            "queue q{q} produced from {producers:?}"
+        );
+        assert!(
+            consumers.len() <= 1,
+            "queue q{q} consumed from {consumers:?}"
+        );
         assert_ne!(
             producers, consumers,
             "queue q{q} must cross threads (p={producers:?}, c={consumers:?})"

@@ -73,7 +73,10 @@ impl FunctionBuilder<'_> {
 
     /// The entry block created when this builder was opened.
     pub fn entry_block(&self) -> BlockId {
-        self.func.as_ref().expect("function already finished").entry()
+        self.func
+            .as_ref()
+            .expect("function already finished")
+            .entry()
     }
 
     /// Creates a new (empty) basic block.
@@ -93,7 +96,9 @@ impl FunctionBuilder<'_> {
 
     /// Emits a raw opcode into the current block.
     pub fn emit(&mut self, op: Op) -> InstrId {
-        let cur = self.current.expect("no current block: call switch_to first");
+        let cur = self
+            .current
+            .expect("no current block: call switch_to first");
         self.f().append_op(cur, op)
     }
 

@@ -1,0 +1,113 @@
+//! Shared execution-context machinery for the three execution engines.
+//!
+//! The single-context [`Interpreter`](crate::interp::Interpreter), the
+//! round-robin functional executor (`dswp-sim`) and the native
+//! multi-threaded runtime (`dswp-rt`) all interpret the same IR with the
+//! same call/frame discipline. This module holds the pieces they share —
+//! the register frame, operand reads and bounds-checked memory access —
+//! so the three engines cannot drift apart on value semantics. The exact
+//! arithmetic lives next door in [`interp::eval_unary`](crate::interp::eval_unary),
+//! [`eval_binary`](crate::interp::eval_binary) and
+//! [`eval_cmp`](crate::interp::eval_cmp).
+
+use crate::function::Function;
+use crate::op::Operand;
+use crate::types::{BlockId, FuncId};
+
+/// One call-stack entry of an executing hardware context: the function, its
+/// register file, and the program counter (block + index within block).
+#[derive(Clone, Debug)]
+pub struct Frame {
+    /// The executing function.
+    pub func: FuncId,
+    /// The function's register file (all registers start at zero).
+    pub regs: Vec<i64>,
+    /// Current basic block.
+    pub block: BlockId,
+    /// Index of the next instruction within `block`.
+    pub index: usize,
+}
+
+/// Creates a fresh frame for `f`: registers zeroed, control at the entry
+/// block.
+pub fn new_frame(f: &Function, id: FuncId) -> Frame {
+    Frame {
+        func: id,
+        regs: vec![0; f.num_regs() as usize],
+        block: f.entry(),
+        index: 0,
+    }
+}
+
+/// Reads an operand against a register file.
+#[inline]
+pub fn read_operand(o: Operand, regs: &[i64]) -> i64 {
+    match o {
+        Operand::Reg(r) => regs[r.index()],
+        Operand::Imm(v) => v,
+    }
+}
+
+/// A bounds-checked memory read. Returns `None` when `addr` is negative or
+/// past the end of memory; engines map that to their own fault type.
+#[inline]
+pub fn checked_read(memory: &[i64], addr: i64) -> Option<i64> {
+    usize::try_from(addr)
+        .ok()
+        .and_then(|a| memory.get(a).copied())
+}
+
+/// A bounds-checked memory write. Returns `false` when `addr` is out of
+/// bounds.
+#[inline]
+pub fn checked_write(memory: &mut [i64], addr: i64, value: i64) -> bool {
+    match usize::try_from(addr).ok().and_then(|a| memory.get_mut(a)) {
+        Some(slot) => {
+            *slot = value;
+            true
+        }
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::types::Reg;
+
+    #[test]
+    fn frames_start_zeroed_at_entry() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let e = f.entry_block();
+        let r = f.reg();
+        f.switch_to(e);
+        f.iconst(r, 1);
+        f.halt();
+        let main = f.finish();
+        let p = pb.finish(main, 0);
+        let frame = new_frame(p.function(main), main);
+        assert_eq!(frame.regs, vec![0]);
+        assert_eq!(frame.block, p.function(main).entry());
+        assert_eq!(frame.index, 0);
+    }
+
+    #[test]
+    fn operand_reads() {
+        let regs = vec![7, 9];
+        assert_eq!(read_operand(Operand::Reg(Reg(1)), &regs), 9);
+        assert_eq!(read_operand(Operand::Imm(-3), &regs), -3);
+    }
+
+    #[test]
+    fn checked_memory_access() {
+        let mut mem = vec![1, 2, 3];
+        assert_eq!(checked_read(&mem, 2), Some(3));
+        assert_eq!(checked_read(&mem, 3), None);
+        assert_eq!(checked_read(&mem, -1), None);
+        assert!(checked_write(&mut mem, 0, 42));
+        assert_eq!(mem[0], 42);
+        assert!(!checked_write(&mut mem, 99, 0));
+    }
+}

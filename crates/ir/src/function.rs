@@ -169,13 +169,8 @@ impl Function {
     /// Iterates over `(BlockId, InstrId)` for every instruction in block
     /// order.
     pub fn instr_ids(&self) -> impl Iterator<Item = (BlockId, InstrId)> + '_ {
-        self.block_ids().flat_map(move |b| {
-            self.block(b)
-                .instrs
-                .iter()
-                .copied()
-                .map(move |i| (b, i))
-        })
+        self.block_ids()
+            .flat_map(move |b| self.block(b).instrs.iter().copied().map(move |i| (b, i)))
     }
 
     /// Total number of live (block-resident) instructions.

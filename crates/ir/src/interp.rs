@@ -17,8 +17,8 @@
 
 use std::fmt;
 
-use crate::function::Function;
-use crate::op::{BinOp, CmpOp, Op, Operand, UnOp};
+use crate::exec::{checked_read, checked_write, new_frame, read_operand};
+use crate::op::{BinOp, CmpOp, Op, UnOp};
 use crate::program::Program;
 use crate::types::{BlockId, FuncId, InstrId};
 
@@ -51,10 +51,16 @@ impl fmt::Display for InterpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             InterpError::MemoryOutOfBounds { address, size } => {
-                write!(f, "memory access at word {address} out of bounds (size {size})")
+                write!(
+                    f,
+                    "memory access at word {address} out of bounds (size {size})"
+                )
             }
             InterpError::QueueOpInSingleThread(i) => {
-                write!(f, "queue instruction {i} executed in a single-context interpreter")
+                write!(
+                    f,
+                    "queue instruction {i} executed in a single-context interpreter"
+                )
             }
             InterpError::BadIndirectTarget(v) => {
                 write!(f, "indirect call target {v} is not a valid function id")
@@ -193,13 +199,6 @@ pub struct RunResult {
     pub profile: Profile,
 }
 
-struct Frame {
-    func: FuncId,
-    regs: Vec<i64>,
-    block: BlockId,
-    index: usize,
-}
-
 /// Single-context functional interpreter over a [`Program`].
 #[derive(Debug)]
 pub struct Interpreter<'p> {
@@ -248,32 +247,25 @@ impl<'p> Interpreter<'p> {
             let op = func.op(instr);
             steps += 1;
 
-            let read = |o: Operand, regs: &[i64]| -> i64 {
-                match o {
-                    Operand::Reg(r) => regs[r.index()],
-                    Operand::Imm(v) => v,
-                }
-            };
-
             match *op {
                 Op::Const { dst, value } => {
                     frame.regs[dst.index()] = value;
                     frame.index += 1;
                 }
                 Op::Unary { dst, op, src } => {
-                    let v = read(src, &frame.regs);
+                    let v = read_operand(src, &frame.regs);
                     frame.regs[dst.index()] = eval_unary(op, v);
                     frame.index += 1;
                 }
                 Op::Binary { dst, op, lhs, rhs } => {
-                    let a = read(lhs, &frame.regs);
-                    let b = read(rhs, &frame.regs);
+                    let a = read_operand(lhs, &frame.regs);
+                    let b = read_operand(rhs, &frame.regs);
                     frame.regs[dst.index()] = eval_binary(op, a, b);
                     frame.index += 1;
                 }
                 Op::Cmp { dst, op, lhs, rhs } => {
-                    let a = read(lhs, &frame.regs);
-                    let b = read(rhs, &frame.regs);
+                    let a = read_operand(lhs, &frame.regs);
+                    let b = read_operand(rhs, &frame.regs);
                     frame.regs[dst.index()] = eval_cmp(op, a, b);
                     frame.index += 1;
                 }
@@ -288,7 +280,7 @@ impl<'p> Interpreter<'p> {
                 Op::Store {
                     src, addr, offset, ..
                 } => {
-                    let v = read(src, &frame.regs);
+                    let v = read_operand(src, &frame.regs);
                     let a = frame.regs[addr.index()].wrapping_add(offset);
                     mem_write(&mut memory, a, v)?;
                     frame.index += 1;
@@ -305,7 +297,9 @@ impl<'p> Interpreter<'p> {
                         // Sentinel: halt this context (master-loop protocol).
                         break;
                     }
-                    let idx = usize::try_from(v).ok().filter(|&i| i < program.functions().len());
+                    let idx = usize::try_from(v)
+                        .ok()
+                        .filter(|&i| i < program.functions().len());
                     let Some(idx) = idx else {
                         return Err(InterpError::BadIndirectTarget(v));
                     };
@@ -316,7 +310,11 @@ impl<'p> Interpreter<'p> {
                     stack.push(new_frame(callee_fn, callee));
                 }
                 Op::Br { cond, then_, else_ } => {
-                    let t = if frame.regs[cond.index()] != 0 { then_ } else { else_ };
+                    let t = if frame.regs[cond.index()] != 0 {
+                        then_
+                    } else {
+                        else_
+                    };
                     frame.block = t;
                     frame.index = 0;
                     let fid = frame.func;
@@ -347,10 +345,7 @@ impl<'p> Interpreter<'p> {
             }
         }
 
-        let entry_regs = stack
-            .first()
-            .map(|f| f.regs.clone())
-            .unwrap_or_default();
+        let entry_regs = stack.first().map(|f| f.regs.clone()).unwrap_or_default();
         Ok(RunResult {
             memory,
             entry_regs,
@@ -360,33 +355,22 @@ impl<'p> Interpreter<'p> {
     }
 }
 
-fn new_frame(f: &Function, id: FuncId) -> Frame {
-    Frame {
-        func: id,
-        regs: vec![0; f.num_regs() as usize],
-        block: f.entry(),
-        index: 0,
-    }
-}
-
 fn mem_read(memory: &[i64], addr: i64) -> Result<i64, InterpError> {
-    usize::try_from(addr)
-        .ok()
-        .and_then(|a| memory.get(a).copied())
-        .ok_or(InterpError::MemoryOutOfBounds {
-            address: addr,
-            size: memory.len(),
-        })
+    checked_read(memory, addr).ok_or(InterpError::MemoryOutOfBounds {
+        address: addr,
+        size: memory.len(),
+    })
 }
 
 fn mem_write(memory: &mut [i64], addr: i64, value: i64) -> Result<(), InterpError> {
-    let size = memory.len();
-    let slot = usize::try_from(addr)
-        .ok()
-        .and_then(|a| memory.get_mut(a))
-        .ok_or(InterpError::MemoryOutOfBounds { address: addr, size })?;
-    *slot = value;
-    Ok(())
+    if checked_write(memory, addr, value) {
+        Ok(())
+    } else {
+        Err(InterpError::MemoryOutOfBounds {
+            address: addr,
+            size: memory.len(),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -450,7 +434,10 @@ mod tests {
         f.jump(e);
         let main = f.finish();
         let p = pb.finish(main, 0);
-        let err = Interpreter::new(&p).with_step_limit(1000).run().unwrap_err();
+        let err = Interpreter::new(&p)
+            .with_step_limit(1000)
+            .run()
+            .unwrap_err();
         assert_eq!(err, InterpError::StepLimit(1000));
     }
 
@@ -467,7 +454,10 @@ mod tests {
         let main = f.finish();
         let p = pb.finish(main, 4);
         let err = Interpreter::new(&p).run().unwrap_err();
-        assert!(matches!(err, InterpError::MemoryOutOfBounds { address: 100, .. }));
+        assert!(matches!(
+            err,
+            InterpError::MemoryOutOfBounds { address: 100, .. }
+        ));
     }
 
     #[test]

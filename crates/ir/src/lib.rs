@@ -66,6 +66,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod builder;
+pub mod exec;
 pub mod function;
 pub mod interp;
 pub mod latency;

@@ -488,7 +488,10 @@ impl Op {
     pub fn is_queue_op(&self) -> bool {
         matches!(
             self,
-            Op::Produce { .. } | Op::Consume { .. } | Op::ProduceToken { .. } | Op::ConsumeToken { .. }
+            Op::Produce { .. }
+                | Op::Consume { .. }
+                | Op::ProduceToken { .. }
+                | Op::ConsumeToken { .. }
         )
     }
 

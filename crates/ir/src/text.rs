@@ -173,12 +173,10 @@ impl<'a> Parser<'a> {
 
     fn parse(mut self) -> Result<Program, ParseError> {
         // Header.
-        let (ln, header) = self
-            .next_line()
-            .ok_or(ParseError {
-                line: 0,
-                message: "empty input".into(),
-            })?;
+        let (ln, header) = self.next_line().ok_or(ParseError {
+            line: 0,
+            message: "empty input".into(),
+        })?;
         let toks: Vec<&str> = header.split_whitespace().collect();
         let [_, nfuncs, _, nthreads, _, nqueues, _, nmem] = toks.as_slice() else {
             return self.err(ln, "expected `program N threads N queues N memory N`");
@@ -280,7 +278,10 @@ impl<'a> Parser<'a> {
                 };
                 let idx: usize = self.num(ln, idx)?;
                 if idx != f.num_blocks() {
-                    return self.err(ln, format!("blocks must appear in order; expected bb{}", f.num_blocks()));
+                    return self.err(
+                        ln,
+                        format!("blocks must appear in order; expected bb{}", f.num_blocks()),
+                    );
                 }
                 current = Some(f.add_block(name));
                 continue;
@@ -658,8 +659,8 @@ mod tests {
         f.halt();
         let main = f.finish();
         let mut mem = vec![0i64; 16];
-        for k in 8..13 {
-            mem[k] = k as i64;
+        for (k, slot) in mem.iter_mut().enumerate().take(13).skip(8) {
+            *slot = k as i64;
         }
         pb.finish_with_memory(main, mem)
     }

@@ -89,7 +89,12 @@ pub fn verify_function(
         }
         for (idx, &i) in block.instrs().iter().enumerate() {
             if i.index() >= f.num_instr_slots() {
-                return Err(err(Some(fid), Some(b), Some(i), "instruction id out of range"));
+                return Err(err(
+                    Some(fid),
+                    Some(b),
+                    Some(i),
+                    "instruction id out of range",
+                ));
             }
             if seen[i.index()] {
                 return Err(err(

@@ -1,44 +1,102 @@
-//! Property tests for the text format: serialize → parse → serialize must
+//! Randomized tests for the text format: serialize → parse → serialize must
 //! be a fixed point, and the parsed program must behave identically, for
 //! randomly generated programs covering every opcode family.
-
-use proptest::prelude::*;
+//!
+//! Cases are enumerated from deterministic seeds (see `dswp-testutil`).
 
 use dswp_ir::interp::Interpreter;
 use dswp_ir::op::MemInfo;
 use dswp_ir::verify::verify_program;
 use dswp_ir::{parse_program, to_text, BinOp, CmpOp, Program, ProgramBuilder, RegionId, UnOp};
+use dswp_testutil::{cases, Rng};
 
 const REGS: usize = 5;
 const MEM: usize = 24;
 
 #[derive(Clone, Debug)]
 enum GenOp {
-    Const { d: u8, v: i64 },
-    Un { d: u8, a: u8, k: u8 },
-    Bin { d: u8, a: u8, b: u8, k: u8 },
-    BinImm { d: u8, a: u8, imm: i64, k: u8 },
-    Cmp { d: u8, a: u8, b: u8, k: u8 },
-    Load { d: u8, off: u8, region: Option<u8>, affine: bool },
-    Store { s: u8, off: u8, region: Option<u8> },
+    Const {
+        d: u8,
+        v: i64,
+    },
+    Un {
+        d: u8,
+        a: u8,
+        k: u8,
+    },
+    Bin {
+        d: u8,
+        a: u8,
+        b: u8,
+        k: u8,
+    },
+    BinImm {
+        d: u8,
+        a: u8,
+        imm: i64,
+        k: u8,
+    },
+    Cmp {
+        d: u8,
+        a: u8,
+        b: u8,
+        k: u8,
+    },
+    Load {
+        d: u8,
+        off: u8,
+        region: Option<u8>,
+        affine: bool,
+    },
+    Store {
+        s: u8,
+        off: u8,
+        region: Option<u8>,
+    },
 }
 
-fn gen_op() -> impl Strategy<Value = GenOp> {
-    let r = 0u8..REGS as u8;
-    prop_oneof![
-        (r.clone(), -100i64..100).prop_map(|(d, v)| GenOp::Const { d, v }),
-        (r.clone(), r.clone(), 0u8..5).prop_map(|(d, a, k)| GenOp::Un { d, a, k }),
-        (r.clone(), r.clone(), r.clone(), 0u8..16)
-            .prop_map(|(d, a, b, k)| GenOp::Bin { d, a, b, k }),
-        (r.clone(), r.clone(), -9i64..9, 0u8..16)
-            .prop_map(|(d, a, imm, k)| GenOp::BinImm { d, a, imm, k }),
-        (r.clone(), r.clone(), r.clone(), 0u8..7)
-            .prop_map(|(d, a, b, k)| GenOp::Cmp { d, a, b, k }),
-        (r.clone(), 0u8..8, prop::option::of(0u8..3), any::<bool>())
-            .prop_map(|(d, off, region, affine)| GenOp::Load { d, off, region, affine }),
-        (r, 0u8..8, prop::option::of(0u8..3))
-            .prop_map(|(s, off, region)| GenOp::Store { s, off, region }),
-    ]
+fn gen_op(rng: &mut Rng) -> GenOp {
+    let r = |rng: &mut Rng| rng.below(REGS) as u8;
+    match rng.below(7) {
+        0 => GenOp::Const {
+            d: r(rng),
+            v: rng.range_i64(-100, 100),
+        },
+        1 => GenOp::Un {
+            d: r(rng),
+            a: r(rng),
+            k: rng.below(5) as u8,
+        },
+        2 => GenOp::Bin {
+            d: r(rng),
+            a: r(rng),
+            b: r(rng),
+            k: rng.below(16) as u8,
+        },
+        3 => GenOp::BinImm {
+            d: r(rng),
+            a: r(rng),
+            imm: rng.range_i64(-9, 9),
+            k: rng.below(16) as u8,
+        },
+        4 => GenOp::Cmp {
+            d: r(rng),
+            a: r(rng),
+            b: r(rng),
+            k: rng.below(7) as u8,
+        },
+        5 => GenOp::Load {
+            d: r(rng),
+            off: rng.below(8) as u8,
+            region: rng.bool().then(|| rng.below(3) as u8),
+            affine: rng.bool(),
+        },
+        _ => GenOp::Store {
+            s: r(rng),
+            off: rng.below(8) as u8,
+            region: rng.bool().then(|| rng.below(3) as u8),
+        },
+    }
 }
 
 fn build(ops: &[GenOp], mem_seed: &[i64]) -> Program {
@@ -59,14 +117,20 @@ fn build(ops: &[GenOp], mem_seed: &[i64]) -> Program {
                 f.iconst(regs[d as usize], v);
             }
             GenOp::Un { d, a, k } => {
-                let uns = [UnOp::Mov, UnOp::Neg, UnOp::Not, UnOp::IntToFloat, UnOp::FloatToInt];
+                let uns = [
+                    UnOp::Mov,
+                    UnOp::Neg,
+                    UnOp::Not,
+                    UnOp::IntToFloat,
+                    UnOp::FloatToInt,
+                ];
                 f.unary(regs[d as usize], uns[k as usize % 5], regs[a as usize]);
             }
             GenOp::Bin { d, a, b, k } => {
                 use BinOp::*;
                 let bins = [
-                    Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr, Min, Max, FAdd, FSub,
-                    FMul, FDiv,
+                    Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr, Min, Max, FAdd, FSub, FMul,
+                    FDiv,
                 ];
                 f.binary(
                     regs[d as usize],
@@ -78,8 +142,8 @@ fn build(ops: &[GenOp], mem_seed: &[i64]) -> Program {
             GenOp::BinImm { d, a, imm, k } => {
                 use BinOp::*;
                 let bins = [
-                    Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr, Min, Max, FAdd, FSub,
-                    FMul, FDiv,
+                    Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr, Min, Max, FAdd, FSub, FMul,
+                    FDiv,
                 ];
                 f.binary(
                     regs[d as usize],
@@ -98,7 +162,12 @@ fn build(ops: &[GenOp], mem_seed: &[i64]) -> Program {
                     regs[b as usize],
                 );
             }
-            GenOp::Load { d, off, region, affine } => {
+            GenOp::Load {
+                d,
+                off,
+                region,
+                affine,
+            } => {
                 let mem = MemInfo {
                     region: region.map(|r| RegionId(r as u32)),
                     affine: affine.then_some(dswp_ir::op::Affine {
@@ -134,25 +203,26 @@ fn build(ops: &[GenOp], mem_seed: &[i64]) -> Program {
     pb.finish_with_memory(main, memory)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+#[test]
+fn text_round_trip_is_a_fixed_point_and_preserves_behavior() {
+    for seed in 0..cases(96) as u64 {
+        let mut rng = Rng::new(seed);
+        let nops = rng.range(1, 24);
+        let ops = rng.vec(nops, gen_op);
+        let nseed = rng.range(1, 6);
+        let mem_seed = rng.vec(nseed, |r| r.range_i64(-1000, 1000));
 
-    #[test]
-    fn text_round_trip_is_a_fixed_point_and_preserves_behavior(
-        ops in prop::collection::vec(gen_op(), 1..24),
-        mem_seed in prop::collection::vec(-1000i64..1000, 1..6),
-    ) {
         let p = build(&ops, &mem_seed);
         verify_program(&p).expect("generated program verifies");
         let text = to_text(&p);
         let q = parse_program(&text).expect("round-trip parses");
         verify_program(&q).expect("parsed program verifies");
-        prop_assert_eq!(to_text(&q), text, "fixed point");
+        assert_eq!(to_text(&q), text, "fixed point (seed {seed})");
 
         let a = Interpreter::new(&p).run().expect("original runs");
         let b = Interpreter::new(&q).run().expect("reparsed runs");
-        prop_assert_eq!(a.memory, b.memory);
-        prop_assert_eq!(a.steps, b.steps);
-        prop_assert_eq!(a.entry_regs, b.entry_regs);
+        assert_eq!(a.memory, b.memory, "seed {seed}");
+        assert_eq!(a.steps, b.steps, "seed {seed}");
+        assert_eq!(a.entry_regs, b.entry_regs, "seed {seed}");
     }
 }

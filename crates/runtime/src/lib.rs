@@ -1,0 +1,594 @@
+//! Native multi-threaded runtime for DSWP-transformed programs.
+//!
+//! The MICRO 2005 DSWP paper evaluates decoupled software pipelining on a
+//! simulated dual-core Itanium 2 with a hardware *synchronization array*.
+//! This crate is the third execution engine of the reproduction, and the
+//! only one that actually runs the pipeline concurrently:
+//!
+//! * the single-context [`Interpreter`](dswp_ir::interp::Interpreter)
+//!   executes baseline programs and rejects queue instructions;
+//! * the functional [`Executor`](../dswp_sim) round-robins all hardware
+//!   contexts in one OS thread with unbounded queues — the deterministic
+//!   correctness oracle;
+//! * this [`Runtime`] spawns **one OS thread per pipeline stage** and
+//!   implements the synchronization array as bounded lock-free SPSC
+//!   ring-buffer queues ([`queue::SpscQueue`]), with park/unpark
+//!   backpressure and a deadlock watchdog.
+//!
+//! All three engines share value semantics through `dswp_ir::exec` and
+//! `dswp_ir::interp::{eval_unary, eval_binary, eval_cmp}`, so a
+//! DSWP-transformed program must produce **bit-identical observable
+//! results** (final memory, main entry registers, per-queue value streams)
+//! on all of them. The differential test suite at the workspace root
+//! asserts exactly that over every paper workload.
+//!
+//! # Liveness
+//!
+//! A buggy partition (or a deliberately miswired queue) must fail, not
+//! hang. Three independent guards ensure the runtime always returns:
+//!
+//! 1. the [`monitor::Monitor`] detects true deadlock — every live thread
+//!    blocked on an unsatisfiable queue operation — and returns
+//!    [`RtError::Deadlock`] naming the blocked threads;
+//! 2. a shared step budget ([`RtConfig::step_limit`]) stops runaway loops
+//!    with [`RtError::StepLimit`];
+//! 3. a wall-clock watchdog ([`RtConfig::watchdog`]) aborts the run with
+//!    [`RtError::Watchdog`] if *no thread makes progress* for the
+//!    configured duration — a backstop for livelock the first two guards
+//!    cannot see.
+//!
+//! # Example
+//!
+//! ```
+//! use dswp_ir::{ProgramBuilder, QueueId};
+//! use dswp_rt::{RtConfig, Runtime};
+//!
+//! // Stage 0 produces 0..10, stage 1 sums them into memory word 0.
+//! let mut pb = ProgramBuilder::new();
+//! let mut f = pb.function("stage0");
+//! let e = f.entry_block();
+//! let header = f.block("header");
+//! let body = f.block("body");
+//! let tail = f.block("tail");
+//! let (i, lim, done) = (f.reg(), f.reg(), f.reg());
+//! f.switch_to(e);
+//! f.iconst(i, 0);
+//! f.iconst(lim, 10);
+//! f.jump(header);
+//! f.switch_to(header);
+//! f.cmp_ge(done, i, lim);
+//! f.br(done, tail, body);
+//! f.switch_to(body);
+//! f.produce(QueueId(0), i);
+//! f.add(i, i, 1);
+//! f.jump(header);
+//! f.switch_to(tail);
+//! f.produce(QueueId(0), -1);
+//! f.halt();
+//! let stage0 = f.finish();
+//!
+//! let mut g = pb.function("stage1");
+//! let e = g.entry_block();
+//! let loop_ = g.block("loop");
+//! let acc = g.block("acc");
+//! let fin = g.block("fin");
+//! let (v, sum, neg, base) = (g.reg(), g.reg(), g.reg(), g.reg());
+//! g.switch_to(e);
+//! g.iconst(sum, 0);
+//! g.jump(loop_);
+//! g.switch_to(loop_);
+//! g.consume(v, QueueId(0));
+//! g.cmp_lt(neg, v, 0);
+//! g.br(neg, fin, acc);
+//! g.switch_to(acc);
+//! g.add(sum, sum, v);
+//! g.jump(loop_);
+//! g.switch_to(fin);
+//! g.iconst(base, 0);
+//! g.store(sum, base, 0);
+//! g.halt();
+//! let stage1 = g.finish();
+//!
+//! let mut program = pb.finish(stage0, 4);
+//! program.num_queues = 1;
+//! program.add_thread(stage1);
+//!
+//! let result = Runtime::new(&program).with_config(RtConfig::default()).run().unwrap();
+//! assert_eq!(result.memory[0], 45);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod queue;
+
+pub(crate) mod monitor;
+pub(crate) mod worker;
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use dswp_ir::Program;
+
+use monitor::{Monitor, Verdict};
+use worker::{run_worker, Shared, WorkerEnd, WorkerReport};
+
+pub use queue::QueueStats;
+
+/// Errors raised by the native runtime.
+///
+/// The variants mirror the functional executor's `ExecError` so the two
+/// engines can be compared in differential tests; [`RtError::Watchdog`] is
+/// runtime-specific.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RtError {
+    /// A load or store addressed a word outside program memory.
+    MemoryOutOfBounds {
+        /// Faulting word address.
+        address: i64,
+        /// Memory size in words.
+        size: usize,
+    },
+    /// An indirect call target was not a valid function id.
+    BadIndirectTarget(i64),
+    /// The shared step budget was exhausted (runaway-loop guard).
+    StepLimit(u64),
+    /// `ret` executed with an empty call stack.
+    ReturnFromEntry(usize),
+    /// Every live thread was blocked on a queue operation that can never
+    /// be satisfied, with the main thread among them.
+    Deadlock {
+        /// Indices of the blocked threads.
+        blocked: Vec<usize>,
+    },
+    /// No thread made progress for the watchdog duration (livelock
+    /// backstop).
+    Watchdog {
+        /// How long the run was stalled before the watchdog fired.
+        stalled_for: Duration,
+    },
+}
+
+impl fmt::Display for RtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtError::MemoryOutOfBounds { address, size } => {
+                write!(
+                    f,
+                    "memory access at word {address} out of bounds (size {size})"
+                )
+            }
+            RtError::BadIndirectTarget(v) => {
+                write!(f, "indirect call target {v} is not a valid function id")
+            }
+            RtError::StepLimit(n) => write!(f, "step limit of {n} instructions exceeded"),
+            RtError::ReturnFromEntry(t) => {
+                write!(f, "thread {t} returned from its entry function")
+            }
+            RtError::Deadlock { blocked } => {
+                write!(
+                    f,
+                    "deadlock: threads {blocked:?} blocked on unsatisfiable queue operations"
+                )
+            }
+            RtError::Watchdog { stalled_for } => {
+                write!(f, "watchdog: no progress for {stalled_for:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RtError {}
+
+/// Runtime configuration.
+#[derive(Clone, Debug)]
+pub struct RtConfig {
+    /// Capacity of every synchronization-array queue, in values. The paper
+    /// models a 32-entry-per-queue synchronization array (Section 2.1).
+    pub queue_capacity: usize,
+    /// Total instruction budget across all stage threads.
+    pub step_limit: u64,
+    /// Abort the run if no thread makes progress for this long.
+    pub watchdog: Duration,
+    /// Record every produced value per queue (for differential testing;
+    /// adds a mutex acquisition per produce).
+    pub record_streams: bool,
+}
+
+impl Default for RtConfig {
+    fn default() -> Self {
+        RtConfig {
+            queue_capacity: 32,
+            step_limit: 500_000_000,
+            watchdog: Duration::from_secs(2),
+            record_streams: false,
+        }
+    }
+}
+
+impl RtConfig {
+    /// Sets the per-queue capacity (must be at least 1).
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the shared step budget.
+    pub fn step_limit(mut self, limit: u64) -> Self {
+        self.step_limit = limit;
+        self
+    }
+
+    /// Sets the no-progress watchdog duration.
+    pub fn watchdog(mut self, duration: Duration) -> Self {
+        self.watchdog = duration;
+        self
+    }
+
+    /// Enables per-queue produced-value stream recording.
+    pub fn record_streams(mut self, on: bool) -> Self {
+        self.record_streams = on;
+        self
+    }
+}
+
+/// Wall-clock and scheduling statistics of one pipeline stage.
+#[derive(Clone, Debug)]
+pub struct StageStats {
+    /// Successfully executed instructions (comparable to the functional
+    /// executor's per-context step counts).
+    pub steps: u64,
+    /// Total wall-clock lifetime of the stage thread.
+    pub wall: Duration,
+    /// Portion of `wall` spent blocked on queue backpressure/starvation.
+    pub blocked: Duration,
+    /// Whether the stage was parked (still blocked when the main thread
+    /// terminated) rather than reaching its own halt.
+    pub parked: bool,
+}
+
+/// The observable result of a completed native run.
+#[derive(Clone, Debug)]
+pub struct RtResult {
+    /// Final shared memory image.
+    pub memory: Vec<i64>,
+    /// Registers of the main thread's entry frame at halt.
+    pub entry_regs: Vec<i64>,
+    /// Per-stage statistics, indexed by hardware context.
+    pub stages: Vec<StageStats>,
+    /// Per-queue occupancy and traffic statistics.
+    pub queues: Vec<QueueStats>,
+    /// Per-queue produced-value streams, present when
+    /// [`RtConfig::record_streams`] was set.
+    pub streams: Option<Vec<Vec<i64>>>,
+    /// Total wall-clock time of the run.
+    pub elapsed: Duration,
+}
+
+impl RtResult {
+    /// Total instructions executed across all stages.
+    pub fn total_steps(&self) -> u64 {
+        self.stages.iter().map(|s| s.steps).sum()
+    }
+}
+
+/// Native multi-threaded runtime over a [`Program`].
+#[derive(Debug)]
+pub struct Runtime<'p> {
+    program: &'p Program,
+    config: RtConfig,
+}
+
+impl<'p> Runtime<'p> {
+    /// Creates a runtime for `program` with the default configuration.
+    pub fn new(program: &'p Program) -> Self {
+        Runtime {
+            program,
+            config: RtConfig::default(),
+        }
+    }
+
+    /// Replaces the configuration.
+    pub fn with_config(mut self, config: RtConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Runs every hardware context on its own OS thread until the program
+    /// completes (main halts and every other stage halts or parks).
+    ///
+    /// # Errors
+    ///
+    /// See [`RtError`]. The runtime never hangs: deadlock, runaway loops
+    /// and livelock all surface as structured errors.
+    pub fn run(&self) -> Result<RtResult, RtError> {
+        let program = self.program;
+        let num_threads = program.thread_entries().len();
+        let shared = Shared {
+            program,
+            memory: program
+                .initial_memory
+                .iter()
+                .map(|&v| AtomicI64::new(v))
+                .collect(),
+            queues: (0..program.num_queues as usize)
+                .map(|_| {
+                    queue::SpscQueue::new(self.config.queue_capacity, self.config.record_streams)
+                })
+                .collect(),
+            monitor: Monitor::new(num_threads),
+            steps_claimed: AtomicU64::new(0),
+            step_limit: self.config.step_limit,
+            abort: AtomicBool::new(false),
+            progress: AtomicU64::new(0),
+        };
+
+        let started = Instant::now();
+        // The watchdog thread sleeps on a condvar and wakes periodically to
+        // compare the progress heartbeat; it adds no latency to the run
+        // itself (workers are joined directly). True deadlock is detected
+        // much faster by the monitor.
+        let done = (std::sync::Mutex::new(false), std::sync::Condvar::new());
+        let reports: Vec<WorkerReport> = std::thread::scope(|s| {
+            let shared = &shared;
+            let handles: Vec<_> = (0..num_threads)
+                .map(|t| s.spawn(move || run_worker(shared, t)))
+                .collect();
+
+            let done = &done;
+            let watchdog_limit = self.config.watchdog;
+            let watchdog = s.spawn(move || {
+                let (lock, cvar) = done;
+                let mut finished = lock.lock().unwrap();
+                let mut last_progress = shared.progress.load(Ordering::Relaxed);
+                let mut last_change = Instant::now();
+                let mut fired = false;
+                while !*finished {
+                    let (guard, _) = cvar
+                        .wait_timeout(finished, Duration::from_millis(10))
+                        .unwrap();
+                    finished = guard;
+                    if *finished {
+                        break;
+                    }
+                    let p = shared.progress.load(Ordering::Relaxed);
+                    if p != last_progress {
+                        last_progress = p;
+                        last_change = Instant::now();
+                    } else if !fired && last_change.elapsed() >= watchdog_limit {
+                        fired = true;
+                        shared.abort.store(true, Ordering::Relaxed);
+                        shared.monitor.fail(RtError::Watchdog {
+                            stalled_for: watchdog_limit,
+                        });
+                    }
+                }
+            });
+
+            let reports = handles
+                .into_iter()
+                .map(|h| h.join().expect("stage thread panicked"))
+                .collect();
+            let (lock, cvar) = &done;
+            *lock.lock().unwrap() = true;
+            cvar.notify_all();
+            watchdog.join().expect("watchdog thread panicked");
+            reports
+        });
+        let elapsed = started.elapsed();
+
+        if let Some(Verdict::Fail(err)) = shared.monitor.verdict() {
+            return Err(err);
+        }
+
+        let streams = self
+            .config
+            .record_streams
+            .then(|| shared.queues.iter().map(|q| q.take_stream()).collect());
+        Ok(RtResult {
+            memory: shared
+                .memory
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            entry_regs: reports[0].entry_regs.clone(),
+            stages: reports
+                .iter()
+                .map(|r| StageStats {
+                    steps: r.steps,
+                    wall: r.wall,
+                    blocked: r.blocked,
+                    parked: r.end == WorkerEnd::Parked,
+                })
+                .collect(),
+            queues: shared.queues.iter().map(|q| q.stats()).collect(),
+            streams,
+            elapsed,
+        })
+    }
+}
+
+/// Convenience wrapper: runs `program` with `config` and returns the
+/// result.
+pub fn run_native(program: &Program, config: RtConfig) -> Result<RtResult, RtError> {
+    Runtime::new(program).with_config(config).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dswp_ir::{ProgramBuilder, QueueId};
+
+    /// Two stages: stage 0 produces 0..n then a -1 sentinel and reads the
+    /// sum back through a second queue; stage 1 accumulates.
+    fn ping_pong(n: i64) -> Program {
+        let mut pb = ProgramBuilder::new();
+        let q_data = QueueId(0);
+        let q_done = QueueId(1);
+
+        let mut f = pb.function("producer");
+        let e = f.entry_block();
+        let header = f.block("header");
+        let body = f.block("body");
+        let tail = f.block("tail");
+        let (i, lim, done, res, base) = (f.reg(), f.reg(), f.reg(), f.reg(), f.reg());
+        f.switch_to(e);
+        f.iconst(i, 0);
+        f.iconst(lim, n);
+        f.iconst(base, 0);
+        f.jump(header);
+        f.switch_to(header);
+        f.cmp_ge(done, i, lim);
+        f.br(done, tail, body);
+        f.switch_to(body);
+        f.produce(q_data, i);
+        f.add(i, i, 1);
+        f.jump(header);
+        f.switch_to(tail);
+        f.produce(q_data, -1);
+        f.consume(res, q_done);
+        f.store(res, base, 0);
+        f.halt();
+        let producer = f.finish();
+
+        let mut g = pb.function("consumer");
+        let e2 = g.entry_block();
+        let loop_ = g.block("loop");
+        let acc_b = g.block("accumulate");
+        let fin = g.block("fin");
+        let (v, sum, neg) = (g.reg(), g.reg(), g.reg());
+        g.switch_to(e2);
+        g.iconst(sum, 0);
+        g.jump(loop_);
+        g.switch_to(loop_);
+        g.consume(v, q_data);
+        g.cmp_lt(neg, v, 0);
+        g.br(neg, fin, acc_b);
+        g.switch_to(acc_b);
+        g.add(sum, sum, v);
+        g.jump(loop_);
+        g.switch_to(fin);
+        g.produce(q_done, sum);
+        g.halt();
+        let consumer = g.finish();
+
+        let mut p = pb.finish(producer, 4);
+        p.num_queues = 2;
+        p.add_thread(consumer);
+        p
+    }
+
+    #[test]
+    fn two_stages_communicate() {
+        let p = ping_pong(1000);
+        let r = Runtime::new(&p).run().unwrap();
+        assert_eq!(r.memory[0], 499_500);
+        assert_eq!(r.stages.len(), 2);
+        assert!(r.queues[0].produced == 1001);
+        assert!(r.queues[0].max_occupancy <= 32);
+    }
+
+    #[test]
+    fn tiny_queues_still_complete() {
+        let p = ping_pong(500);
+        for cap in [1, 2, 3] {
+            let r = run_native(&p, RtConfig::default().queue_capacity(cap)).unwrap();
+            assert_eq!(r.memory[0], 124_750, "capacity {cap}");
+            assert!(r.queues[0].max_occupancy <= cap);
+        }
+    }
+
+    #[test]
+    fn streams_are_recorded_in_order() {
+        let p = ping_pong(50);
+        let r = run_native(
+            &p,
+            RtConfig::default().queue_capacity(4).record_streams(true),
+        )
+        .unwrap();
+        let streams = r.streams.unwrap();
+        let mut expected: Vec<i64> = (0..50).collect();
+        expected.push(-1);
+        assert_eq!(streams[0], expected);
+        assert_eq!(streams[1], vec![1225]);
+    }
+
+    #[test]
+    fn deadlock_is_reported_not_hung() {
+        // Main consumes from a queue nothing produces into.
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let e = f.entry_block();
+        let r = f.reg();
+        f.switch_to(e);
+        f.consume(r, QueueId(0));
+        f.halt();
+        let main = f.finish();
+        let mut p = pb.finish(main, 0);
+        p.num_queues = 1;
+        let err = Runtime::new(&p).run().unwrap_err();
+        assert_eq!(err, RtError::Deadlock { blocked: vec![0] });
+    }
+
+    #[test]
+    fn aux_parks_when_main_halts() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let e = f.entry_block();
+        f.switch_to(e);
+        f.halt();
+        let main = f.finish();
+        let mut g = pb.function("parked");
+        let e2 = g.entry_block();
+        let r = g.reg();
+        g.switch_to(e2);
+        g.consume(r, QueueId(0));
+        g.halt();
+        let parked = g.finish();
+        let mut p = pb.finish(main, 0);
+        p.num_queues = 1;
+        p.add_thread(parked);
+        let res = Runtime::new(&p).run().unwrap();
+        assert!(!res.stages[0].parked);
+        assert!(res.stages[1].parked);
+        assert_eq!(res.stages[1].steps, 0);
+    }
+
+    #[test]
+    fn step_limit_stops_runaways() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let e = f.entry_block();
+        f.switch_to(e);
+        f.jump(e);
+        let main = f.finish();
+        let p = pb.finish(main, 0);
+        let err = Runtime::new(&p)
+            .with_config(RtConfig::default().step_limit(10_000))
+            .run()
+            .unwrap_err();
+        assert_eq!(err, RtError::StepLimit(10_000));
+    }
+
+    #[test]
+    fn memory_fault_aborts_all_stages() {
+        let p = {
+            let mut pb = ProgramBuilder::new();
+            let mut f = pb.function("main");
+            let e = f.entry_block();
+            let (a, v) = (f.reg(), f.reg());
+            f.switch_to(e);
+            f.iconst(a, 1_000);
+            f.load(v, a, 0);
+            f.halt();
+            let main = f.finish();
+            pb.finish(main, 4)
+        };
+        let err = Runtime::new(&p).run().unwrap_err();
+        assert!(matches!(
+            err,
+            RtError::MemoryOutOfBounds { address: 1_000, .. }
+        ));
+    }
+}

@@ -1,0 +1,295 @@
+//! Global blocking coordination and deadlock detection.
+//!
+//! The queue fast path is lock-free; a stage thread only arrives here after
+//! spinning on a full (produce) or empty (consume) queue. The [`Monitor`]
+//! parks such threads on a condition variable and — because it sees every
+//! blocked thread at once — doubles as the runtime's *watchdog brain*: when
+//! every live thread is blocked and no blocked operation can ever be
+//! satisfied, it issues a structured verdict instead of letting the process
+//! hang.
+//!
+//! Two verdicts exist, mirroring the functional executor's semantics
+//! (`dswp-sim`): if the main context has already terminated, the remaining
+//! blocked threads are *parked* (a DSWP master loop that produced its
+//! terminate sentinels may leave auxiliary threads waiting on queues that
+//! will never fill — the run is complete); if the main context is itself
+//! blocked, the program is *deadlocked* and the run fails with
+//! [`RtError::Deadlock`].
+//!
+//! Waiters poll with a bounded `wait_timeout`, so a lost wakeup costs
+//! milliseconds, never liveness.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use crate::queue::SpscQueue;
+use crate::RtError;
+
+/// Which side of a queue a thread is blocked on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum BlockKind {
+    /// Producer waiting for a free slot (queue full).
+    Produce,
+    /// Consumer waiting for a value (queue empty).
+    Consume,
+}
+
+/// A blocked queue operation: the queue and the side.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct BlockInfo {
+    pub queue: usize,
+    pub kind: BlockKind,
+}
+
+/// Terminal decision about a quiescent (or failed) run.
+#[derive(Clone, Debug)]
+pub(crate) enum Verdict {
+    /// Main terminated; remaining blocked threads park and the run is
+    /// complete.
+    Park,
+    /// The run failed; all threads must stop.
+    Fail(RtError),
+}
+
+/// What a blocked thread should do next.
+#[derive(Debug)]
+pub(crate) enum WaitOutcome {
+    /// The blocked operation became satisfiable — retry it.
+    Ready,
+    /// Park verdict: stop this thread, the run completed without it.
+    Park,
+    /// Failure verdict: stop this thread, the run is an error.
+    Fail,
+}
+
+#[derive(Debug)]
+struct MonState {
+    /// `Some(info)` while thread `t` is blocked inside [`Monitor::wait`].
+    blocked: Vec<Option<BlockInfo>>,
+    /// Whether thread `t` has terminated (halt or terminate sentinel).
+    terminated: Vec<bool>,
+    verdict: Option<Verdict>,
+}
+
+/// The runtime-global coordination object.
+#[derive(Debug)]
+pub(crate) struct Monitor {
+    state: Mutex<MonState>,
+    cond: Condvar,
+    /// Fast-path hint: number of threads currently inside [`wait`]. Lets
+    /// queue operations skip the mutex when nobody is parked.
+    blocked_hint: AtomicUsize,
+}
+
+/// Whether a blocked operation could complete right now.
+fn satisfiable(info: BlockInfo, queues: &[SpscQueue]) -> bool {
+    match info.kind {
+        BlockKind::Consume => !queues[info.queue].is_empty(),
+        BlockKind::Produce => !queues[info.queue].is_full(),
+    }
+}
+
+impl Monitor {
+    pub fn new(num_threads: usize) -> Self {
+        Monitor {
+            state: Mutex::new(MonState {
+                blocked: vec![None; num_threads],
+                terminated: vec![false; num_threads],
+                verdict: None,
+            }),
+            cond: Condvar::new(),
+            blocked_hint: AtomicUsize::new(0),
+        }
+    }
+
+    /// Quiescence check, called with the state lock held: if every live
+    /// thread is blocked and no blocked operation is satisfiable, nothing
+    /// can ever happen again — decide Park vs Deadlock.
+    fn quiescent_verdict(st: &MonState, queues: &[SpscQueue]) -> Option<Verdict> {
+        let all_stopped = st
+            .blocked
+            .iter()
+            .zip(&st.terminated)
+            .all(|(b, &t)| t || b.is_some());
+        if !all_stopped {
+            return None;
+        }
+        if st.blocked.iter().flatten().any(|&i| satisfiable(i, queues)) {
+            return None;
+        }
+        if st.terminated[0] {
+            Some(Verdict::Park)
+        } else {
+            let blocked = st
+                .blocked
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| b.is_some())
+                .map(|(t, _)| t)
+                .collect();
+            Some(Verdict::Fail(RtError::Deadlock { blocked }))
+        }
+    }
+
+    /// Blocks `thread` on `info` until the operation becomes satisfiable or
+    /// a verdict is issued. Re-runs the quiescence check on every poll, so
+    /// whichever thread blocks last detects deadlock within one poll
+    /// interval.
+    pub fn wait(&self, thread: usize, info: BlockInfo, queues: &[SpscQueue]) -> WaitOutcome {
+        let mut st = self.state.lock().unwrap();
+        st.blocked[thread] = Some(info);
+        self.blocked_hint.fetch_add(1, Ordering::Relaxed);
+        let outcome = loop {
+            // Satisfiability first: a value that arrived just before a Park
+            // verdict cannot exist (Park requires global unsatisfiability),
+            // and SPSC ownership means a satisfiable operation stays
+            // satisfiable until *this* thread performs it.
+            if satisfiable(info, queues) {
+                break WaitOutcome::Ready;
+            }
+            match st.verdict {
+                Some(Verdict::Park) => break WaitOutcome::Park,
+                Some(Verdict::Fail(_)) => break WaitOutcome::Fail,
+                None => {}
+            }
+            if let Some(v) = Self::quiescent_verdict(&st, queues) {
+                st.verdict = Some(v);
+                self.cond.notify_all();
+                continue;
+            }
+            let (guard, _timed_out) = self
+                .cond
+                .wait_timeout(st, Duration::from_millis(20))
+                .unwrap();
+            st = guard;
+        };
+        st.blocked[thread] = None;
+        self.blocked_hint.fetch_sub(1, Ordering::Relaxed);
+        outcome
+    }
+
+    /// Records that `thread` terminated (halt / terminate sentinel) and
+    /// re-checks quiescence: this termination may strand blocked peers.
+    pub fn terminate(&self, thread: usize, queues: &[SpscQueue]) {
+        let mut st = self.state.lock().unwrap();
+        st.terminated[thread] = true;
+        if st.verdict.is_none() {
+            if let Some(v) = Self::quiescent_verdict(&st, queues) {
+                st.verdict = Some(v);
+            }
+        }
+        self.cond.notify_all();
+    }
+
+    /// Issues a failure verdict (first error wins) and wakes every waiter.
+    pub fn fail(&self, err: RtError) {
+        let mut st = self.state.lock().unwrap();
+        if st.verdict.is_none() {
+            st.verdict = Some(Verdict::Fail(err));
+        }
+        self.cond.notify_all();
+    }
+
+    /// Wakes blocked threads after a successful queue operation. Cheap
+    /// (one relaxed load) when nobody is blocked.
+    pub fn notify_activity(&self) {
+        if self.blocked_hint.load(Ordering::Relaxed) > 0 {
+            let _guard = self.state.lock().unwrap();
+            self.cond.notify_all();
+        }
+    }
+
+    /// The final verdict, if any.
+    pub fn verdict(&self) -> Option<Verdict> {
+        self.state.lock().unwrap().verdict.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lone_blocked_main_is_deadlock() {
+        let queues = vec![SpscQueue::new(4, false)];
+        let m = Monitor::new(1);
+        let out = m.wait(
+            0,
+            BlockInfo {
+                queue: 0,
+                kind: BlockKind::Consume,
+            },
+            &queues,
+        );
+        assert!(matches!(out, WaitOutcome::Fail));
+        assert!(matches!(
+            m.verdict(),
+            Some(Verdict::Fail(RtError::Deadlock { .. }))
+        ));
+    }
+
+    #[test]
+    fn blocked_aux_parks_after_main_terminates() {
+        let queues = Arc::new(vec![SpscQueue::new(4, false)]);
+        let m = Arc::new(Monitor::new(2));
+        let (mc, qc) = (Arc::clone(&m), Arc::clone(&queues));
+        let aux = std::thread::spawn(move || {
+            mc.wait(
+                1,
+                BlockInfo {
+                    queue: 0,
+                    kind: BlockKind::Consume,
+                },
+                &qc,
+            )
+        });
+        std::thread::sleep(Duration::from_millis(5));
+        m.terminate(0, &queues);
+        assert!(matches!(aux.join().unwrap(), WaitOutcome::Park));
+        assert!(matches!(m.verdict(), Some(Verdict::Park)));
+    }
+
+    #[test]
+    fn satisfiable_wait_returns_ready() {
+        let queues = Arc::new(vec![SpscQueue::new(1, false)]);
+        let m = Arc::new(Monitor::new(2));
+        let (mc, qc) = (Arc::clone(&m), Arc::clone(&queues));
+        let consumer = std::thread::spawn(move || {
+            mc.wait(
+                1,
+                BlockInfo {
+                    queue: 0,
+                    kind: BlockKind::Consume,
+                },
+                &qc,
+            )
+        });
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(queues[0].try_produce(9));
+        m.notify_activity();
+        assert!(matches!(consumer.join().unwrap(), WaitOutcome::Ready));
+        assert!(m.verdict().is_none());
+    }
+
+    #[test]
+    fn fail_wakes_waiters() {
+        let queues = Arc::new(vec![SpscQueue::new(1, false)]);
+        let m = Arc::new(Monitor::new(2));
+        let (mc, qc) = (Arc::clone(&m), Arc::clone(&queues));
+        let waiter = std::thread::spawn(move || {
+            mc.wait(
+                1,
+                BlockInfo {
+                    queue: 0,
+                    kind: BlockKind::Consume,
+                },
+                &qc,
+            )
+        });
+        std::thread::sleep(Duration::from_millis(5));
+        m.fail(RtError::StepLimit(1));
+        assert!(matches!(waiter.join().unwrap(), WaitOutcome::Fail));
+    }
+}

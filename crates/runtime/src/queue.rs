@@ -1,0 +1,235 @@
+//! Bounded single-producer/single-consumer ring-buffer queues — the native
+//! realization of the paper's *synchronization array* (Section 2.1).
+//!
+//! Each DSWP queue connects exactly one producer stage to one consumer
+//! stage, so the transfer path needs no locks: a fixed slot array plus two
+//! monotonic atomic cursors. The producer owns `tail`, the consumer owns
+//! `head`; `produce` publishes a slot with a release store of `tail`
+//! (making the producer's preceding ordinary memory writes visible to the
+//! consumer — the property DSWP's memory-synchronization flows rely on),
+//! and `consume` acquires it.
+//!
+//! Blocking (full queue on produce, empty queue on consume) is *not*
+//! handled here; the runtime's [`Monitor`](crate::monitor::Monitor) parks
+//! and unparks threads and performs global deadlock detection. This module
+//! only offers the non-blocking `try_*` operations plus occupancy
+//! statistics.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Pads a hot atomic to its own cache line to avoid false sharing between
+/// the producer's and consumer's cursors (the paper's Section 4.2 studies
+/// exactly this effect in its `bslive` experiment).
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct CacheLine<T>(T);
+
+/// A bounded SPSC queue of `i64` words.
+#[derive(Debug)]
+pub struct SpscQueue {
+    slots: Box<[UnsafeCell<i64>]>,
+    capacity: usize,
+    /// Consumer cursor: number of values consumed so far.
+    head: CacheLine<AtomicUsize>,
+    /// Producer cursor: number of values produced so far.
+    tail: CacheLine<AtomicUsize>,
+    /// Maximum observed occupancy.
+    max_occupancy: AtomicUsize,
+    /// Times the producer found the queue full.
+    pub(crate) producer_blocks: AtomicU64,
+    /// Times the consumer found the queue empty.
+    pub(crate) consumer_blocks: AtomicU64,
+    /// Produced-value log (only filled when stream recording is on).
+    stream: Mutex<Vec<i64>>,
+    record_stream: bool,
+}
+
+// SAFETY: the `UnsafeCell` slots are only written by the single producer
+// before the release store of `tail`, and only read by the single consumer
+// after the acquire load of `tail`; the cursors order every access.
+unsafe impl Sync for SpscQueue {}
+
+/// Occupancy and traffic statistics of one queue, mirroring the simulator's
+/// `OccupancyStats` at per-queue granularity.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Configured capacity in values.
+    pub capacity: usize,
+    /// Total values produced over the run.
+    pub produced: u64,
+    /// Total values consumed over the run.
+    pub consumed: u64,
+    /// Maximum simultaneous occupancy observed.
+    pub max_occupancy: usize,
+    /// Produce attempts that found the queue full (backpressure events).
+    pub producer_blocks: u64,
+    /// Consume attempts that found the queue empty (starvation events).
+    pub consumer_blocks: u64,
+}
+
+impl SpscQueue {
+    /// Creates a queue with `capacity` slots (`capacity >= 1`).
+    pub fn new(capacity: usize, record_stream: bool) -> Self {
+        assert!(capacity >= 1, "queue capacity must be at least 1");
+        SpscQueue {
+            slots: (0..capacity).map(|_| UnsafeCell::new(0)).collect(),
+            capacity,
+            head: CacheLine(AtomicUsize::new(0)),
+            tail: CacheLine(AtomicUsize::new(0)),
+            max_occupancy: AtomicUsize::new(0),
+            producer_blocks: AtomicU64::new(0),
+            consumer_blocks: AtomicU64::new(0),
+            stream: Mutex::new(Vec::new()),
+            record_stream,
+        }
+    }
+
+    /// Attempts to enqueue `v`. Returns `false` when the queue is full.
+    /// Must only be called from the single producer thread.
+    pub fn try_produce(&self, v: i64) -> bool {
+        let tail = self.tail.0.load(Ordering::Relaxed);
+        let head = self.head.0.load(Ordering::Acquire);
+        let occ = tail.wrapping_sub(head);
+        if occ == self.capacity {
+            return false;
+        }
+        // SAFETY: slot `tail % capacity` is outside the consumer's visible
+        // window until the release store below.
+        unsafe {
+            *self.slots[tail % self.capacity].get() = v;
+        }
+        self.tail.0.store(tail.wrapping_add(1), Ordering::Release);
+        // Only the producer writes this; load+store beats an RMW.
+        if occ + 1 > self.max_occupancy.load(Ordering::Relaxed) {
+            self.max_occupancy.store(occ + 1, Ordering::Relaxed);
+        }
+        if self.record_stream {
+            self.stream.lock().unwrap().push(v);
+        }
+        true
+    }
+
+    /// Attempts to dequeue a value. Returns `None` when the queue is empty.
+    /// Must only be called from the single consumer thread.
+    pub fn try_consume(&self) -> Option<i64> {
+        let head = self.head.0.load(Ordering::Relaxed);
+        let tail = self.tail.0.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        // SAFETY: the acquire load of `tail` made the producer's write to
+        // this slot visible, and the producer will not reuse it until the
+        // release store of `head` below.
+        let v = unsafe { *self.slots[head % self.capacity].get() };
+        self.head.0.store(head.wrapping_add(1), Ordering::Release);
+        Some(v)
+    }
+
+    /// Current occupancy (racy snapshot; exact from the owning threads).
+    pub fn len(&self) -> usize {
+        let tail = self.tail.0.load(Ordering::Acquire);
+        let head = self.head.0.load(Ordering::Acquire);
+        tail.wrapping_sub(head)
+    }
+
+    /// Whether the queue is currently empty (racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the queue is currently full (racy snapshot).
+    pub fn is_full(&self) -> bool {
+        self.len() == self.capacity
+    }
+
+    /// Final statistics. Exact once all stage threads have joined.
+    pub fn stats(&self) -> QueueStats {
+        QueueStats {
+            capacity: self.capacity,
+            produced: self.tail.0.load(Ordering::Acquire) as u64,
+            consumed: self.head.0.load(Ordering::Acquire) as u64,
+            max_occupancy: self.max_occupancy.load(Ordering::Relaxed),
+            producer_blocks: self.producer_blocks.load(Ordering::Relaxed),
+            consumer_blocks: self.consumer_blocks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drains the recorded produced-value stream.
+    pub fn take_stream(&self) -> Vec<i64> {
+        std::mem::take(&mut *self.stream.lock().unwrap())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let q = SpscQueue::new(4, false);
+        assert!(q.try_produce(1));
+        assert!(q.try_produce(2));
+        assert!(q.try_produce(3));
+        assert_eq!(q.try_consume(), Some(1));
+        assert!(q.try_produce(4));
+        assert!(q.try_produce(5));
+        assert!(q.is_full());
+        assert!(!q.try_produce(6));
+        assert_eq!(q.try_consume(), Some(2));
+        assert_eq!(q.try_consume(), Some(3));
+        assert_eq!(q.try_consume(), Some(4));
+        assert_eq!(q.try_consume(), Some(5));
+        assert_eq!(q.try_consume(), None);
+        assert_eq!(q.stats().max_occupancy, 4);
+        assert_eq!(q.stats().produced, 5);
+    }
+
+    #[test]
+    fn capacity_one_ping_pongs() {
+        let q = SpscQueue::new(1, false);
+        for i in 0..100 {
+            assert!(q.try_produce(i));
+            assert!(!q.try_produce(i));
+            assert_eq!(q.try_consume(), Some(i));
+            assert_eq!(q.try_consume(), None);
+        }
+    }
+
+    #[test]
+    fn concurrent_transfer_preserves_order_and_values() {
+        const N: i64 = 100_000;
+        let q = Arc::new(SpscQueue::new(8, false));
+        let qp = Arc::clone(&q);
+        let producer = std::thread::spawn(move || {
+            for i in 0..N {
+                while !qp.try_produce(i) {
+                    std::hint::spin_loop();
+                }
+            }
+        });
+        let mut expected = 0;
+        while expected < N {
+            if let Some(v) = q.try_consume() {
+                assert_eq!(v, expected);
+                expected += 1;
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        producer.join().unwrap();
+        assert!(q.is_empty());
+        assert!(q.stats().max_occupancy <= 8);
+    }
+
+    #[test]
+    fn stream_recording() {
+        let q = SpscQueue::new(4, true);
+        q.try_produce(7);
+        q.try_produce(8);
+        q.try_consume();
+        assert_eq!(q.take_stream(), vec![7, 8]);
+    }
+}

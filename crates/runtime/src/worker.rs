@@ -1,0 +1,370 @@
+//! The per-stage worker: one OS thread interpreting one hardware context.
+//!
+//! Each DSWP pipeline stage runs this loop on its own `std::thread`. Value
+//! semantics are shared with the other two engines through
+//! `dswp_ir::exec` (frames, operands, call discipline) and
+//! `dswp_ir::interp::{eval_unary, eval_binary, eval_cmp}` (arithmetic), so
+//! the native runtime cannot drift from the interpreter or the functional
+//! executor on anything but scheduling.
+//!
+//! Shared program memory is a `Vec<AtomicI64>` accessed with relaxed
+//! loads/stores; cross-stage ordering comes from the queues' release/acquire
+//! cursor pairs, exactly the discipline the DSWP transformation enforces by
+//! routing every cross-stage memory dependence through a synchronization
+//! flow.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use dswp_ir::exec::{new_frame, read_operand, Frame};
+use dswp_ir::interp::{eval_binary, eval_cmp, eval_unary};
+use dswp_ir::{FuncId, Op, Program};
+
+use crate::monitor::{BlockInfo, BlockKind, Monitor, WaitOutcome};
+use crate::queue::SpscQueue;
+use crate::RtError;
+
+/// Steps claimed from the shared budget at a time; also the cadence of
+/// abort-flag checks and progress heartbeats.
+const STEP_BATCH: u64 = 1024;
+/// Busy-spin iterations on a blocked queue before yielding.
+const SPINS: u32 = 64;
+/// `yield_now` iterations after spinning before parking on the monitor.
+const YIELDS: u32 = 32;
+
+/// Everything the stage threads share. Borrows the program for the scope of
+/// the run (`std::thread::scope`).
+#[derive(Debug)]
+pub(crate) struct Shared<'p> {
+    pub program: &'p Program,
+    pub memory: Vec<AtomicI64>,
+    pub queues: Vec<SpscQueue>,
+    pub monitor: Monitor,
+    /// Total steps claimed across all threads (runaway guard).
+    pub steps_claimed: AtomicU64,
+    pub step_limit: u64,
+    /// Set on any failure verdict; running threads stop at the next batch
+    /// boundary or blocking attempt.
+    pub abort: AtomicBool,
+    /// Heartbeat for the wall-clock watchdog in `Runtime::run`.
+    pub progress: AtomicU64,
+}
+
+/// How a worker's loop ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum WorkerEnd {
+    /// Reached `halt` or the terminate sentinel — normal completion.
+    Terminated,
+    /// Stopped by a Park verdict while blocked (run completed without it).
+    Parked,
+    /// Stopped by a failure verdict or the abort flag.
+    Aborted,
+}
+
+/// Per-stage outcome and statistics, returned through the scoped join.
+#[derive(Clone, Debug)]
+pub(crate) struct WorkerReport {
+    pub end: WorkerEnd,
+    /// Successfully executed instructions (matches the functional
+    /// executor's per-context step counts exactly).
+    pub steps: u64,
+    /// Entry-frame registers at the end of the run.
+    pub entry_regs: Vec<i64>,
+    /// Total wall-clock time of this stage thread.
+    pub wall: Duration,
+    /// Portion of `wall` spent blocked on queues (spin + park).
+    pub blocked: Duration,
+}
+
+enum QueueOutcome {
+    /// The operation completed; for consumes, carries the value.
+    Done(i64),
+    Stop(WorkerEnd),
+}
+
+fn mem_load(shared: &Shared<'_>, addr: i64) -> Option<i64> {
+    usize::try_from(addr)
+        .ok()
+        .and_then(|a| shared.memory.get(a))
+        .map(|cell| cell.load(Ordering::Relaxed))
+}
+
+fn mem_store(shared: &Shared<'_>, addr: i64, value: i64) -> bool {
+    match usize::try_from(addr)
+        .ok()
+        .and_then(|a| shared.memory.get(a))
+    {
+        Some(cell) => {
+            cell.store(value, Ordering::Relaxed);
+            true
+        }
+        None => false,
+    }
+}
+
+/// Spin-then-park loop shared by produce and consume. `attempt` performs
+/// the non-blocking queue operation, returning the consumed value (or 0 for
+/// produces) on success.
+fn blocking_op(
+    shared: &Shared<'_>,
+    thread: usize,
+    info: BlockInfo,
+    blocked_time: &mut Duration,
+    mut attempt: impl FnMut() -> Option<i64>,
+) -> QueueOutcome {
+    // Fast path: no contention, no timing overhead.
+    if let Some(v) = attempt() {
+        shared.monitor.notify_activity();
+        return QueueOutcome::Done(v);
+    }
+    let queue = &shared.queues[info.queue];
+    match info.kind {
+        BlockKind::Produce => queue.producer_blocks.fetch_add(1, Ordering::Relaxed),
+        BlockKind::Consume => queue.consumer_blocks.fetch_add(1, Ordering::Relaxed),
+    };
+    let began = Instant::now();
+    let mut tries: u32 = 0;
+    let outcome = loop {
+        if let Some(v) = attempt() {
+            shared.monitor.notify_activity();
+            break QueueOutcome::Done(v);
+        }
+        if shared.abort.load(Ordering::Relaxed) {
+            break QueueOutcome::Stop(WorkerEnd::Aborted);
+        }
+        tries += 1;
+        if tries <= SPINS {
+            std::hint::spin_loop();
+        } else if tries <= SPINS + YIELDS {
+            std::thread::yield_now();
+        } else {
+            tries = 0;
+            match shared.monitor.wait(thread, info, &shared.queues) {
+                WaitOutcome::Ready => {}
+                WaitOutcome::Park => break QueueOutcome::Stop(WorkerEnd::Parked),
+                WaitOutcome::Fail => break QueueOutcome::Stop(WorkerEnd::Aborted),
+            }
+        }
+    };
+    shared.progress.fetch_add(1, Ordering::Relaxed);
+    *blocked_time += began.elapsed();
+    outcome
+}
+
+/// Runs hardware context `thread` to completion. Errors are reported to the
+/// monitor (first failure wins) and surface as an `Aborted` report.
+pub(crate) fn run_worker(shared: &Shared<'_>, thread: usize) -> WorkerReport {
+    let started = Instant::now();
+    let mut blocked_time = Duration::ZERO;
+    let program = shared.program;
+    let entry = program.thread_entries()[thread];
+    let mut stack: Vec<Frame> = vec![new_frame(program.function(entry), entry)];
+    let mut steps: u64 = 0;
+    let mut budget: u64 = 0;
+
+    let fail = |err: RtError| {
+        shared.abort.store(true, Ordering::Relaxed);
+        shared.monitor.fail(err);
+        WorkerEnd::Aborted
+    };
+
+    let end = 'run: loop {
+        if budget == 0 {
+            let base = shared
+                .steps_claimed
+                .fetch_add(STEP_BATCH, Ordering::Relaxed);
+            if base >= shared.step_limit {
+                break 'run fail(RtError::StepLimit(shared.step_limit));
+            }
+            budget = STEP_BATCH.min(shared.step_limit - base);
+            shared.progress.fetch_add(1, Ordering::Relaxed);
+            if shared.abort.load(Ordering::Relaxed) {
+                break 'run WorkerEnd::Aborted;
+            }
+        }
+        budget -= 1;
+        steps += 1;
+
+        let frame = stack.last_mut().expect("live context has a frame");
+        let func = program.function(frame.func);
+        let instr = func.block(frame.block).instrs()[frame.index];
+
+        match *func.op(instr) {
+            Op::Const { dst, value } => {
+                frame.regs[dst.index()] = value;
+                frame.index += 1;
+            }
+            Op::Unary { dst, op, src } => {
+                let v = read_operand(src, &frame.regs);
+                frame.regs[dst.index()] = eval_unary(op, v);
+                frame.index += 1;
+            }
+            Op::Binary { dst, op, lhs, rhs } => {
+                let (a, b) = (
+                    read_operand(lhs, &frame.regs),
+                    read_operand(rhs, &frame.regs),
+                );
+                frame.regs[dst.index()] = eval_binary(op, a, b);
+                frame.index += 1;
+            }
+            Op::Cmp { dst, op, lhs, rhs } => {
+                let (a, b) = (
+                    read_operand(lhs, &frame.regs),
+                    read_operand(rhs, &frame.regs),
+                );
+                frame.regs[dst.index()] = eval_cmp(op, a, b);
+                frame.index += 1;
+            }
+            Op::Load {
+                dst, addr, offset, ..
+            } => {
+                let a = frame.regs[addr.index()].wrapping_add(offset);
+                let Some(v) = mem_load(shared, a) else {
+                    break 'run fail(RtError::MemoryOutOfBounds {
+                        address: a,
+                        size: shared.memory.len(),
+                    });
+                };
+                frame.regs[dst.index()] = v;
+                frame.index += 1;
+            }
+            Op::Store {
+                src, addr, offset, ..
+            } => {
+                let v = read_operand(src, &frame.regs);
+                let a = frame.regs[addr.index()].wrapping_add(offset);
+                if !mem_store(shared, a, v) {
+                    break 'run fail(RtError::MemoryOutOfBounds {
+                        address: a,
+                        size: shared.memory.len(),
+                    });
+                }
+                frame.index += 1;
+            }
+            Op::Call { callee } => {
+                frame.index += 1;
+                stack.push(new_frame(program.function(callee), callee));
+            }
+            Op::CallInd { target } => {
+                let v = frame.regs[target.index()];
+                if v < 0 {
+                    // Terminate sentinel (master-loop protocol): not a
+                    // counted step, matching the functional executor.
+                    steps -= 1;
+                    break 'run WorkerEnd::Terminated;
+                }
+                let Some(idx) = usize::try_from(v)
+                    .ok()
+                    .filter(|&i| i < program.functions().len())
+                else {
+                    break 'run fail(RtError::BadIndirectTarget(v));
+                };
+                frame.index += 1;
+                let callee = FuncId::from_index(idx);
+                stack.push(new_frame(program.function(callee), callee));
+            }
+            Op::Br { cond, then_, else_ } => {
+                frame.block = if frame.regs[cond.index()] != 0 {
+                    then_
+                } else {
+                    else_
+                };
+                frame.index = 0;
+            }
+            Op::Jump { target } => {
+                frame.block = target;
+                frame.index = 0;
+            }
+            Op::Ret => {
+                if stack.len() == 1 {
+                    break 'run fail(RtError::ReturnFromEntry(thread));
+                }
+                stack.pop();
+            }
+            Op::Halt => {
+                steps -= 1; // halt is not a counted step (executor parity)
+                break 'run WorkerEnd::Terminated;
+            }
+            Op::Produce { queue, src } => {
+                let v = read_operand(src, &frame.regs);
+                let q = &shared.queues[queue.index()];
+                let info = BlockInfo {
+                    queue: queue.index(),
+                    kind: BlockKind::Produce,
+                };
+                match blocking_op(shared, thread, info, &mut blocked_time, || {
+                    q.try_produce(v).then_some(0)
+                }) {
+                    QueueOutcome::Done(_) => frame.index += 1,
+                    QueueOutcome::Stop(e) => {
+                        steps -= 1; // the op never completed
+                        break 'run e;
+                    }
+                }
+            }
+            Op::Consume { queue, dst } => {
+                let q = &shared.queues[queue.index()];
+                let info = BlockInfo {
+                    queue: queue.index(),
+                    kind: BlockKind::Consume,
+                };
+                match blocking_op(shared, thread, info, &mut blocked_time, || q.try_consume()) {
+                    QueueOutcome::Done(v) => {
+                        frame.regs[dst.index()] = v;
+                        frame.index += 1;
+                    }
+                    QueueOutcome::Stop(e) => {
+                        steps -= 1;
+                        break 'run e;
+                    }
+                }
+            }
+            Op::ProduceToken { queue } => {
+                let q = &shared.queues[queue.index()];
+                let info = BlockInfo {
+                    queue: queue.index(),
+                    kind: BlockKind::Produce,
+                };
+                match blocking_op(shared, thread, info, &mut blocked_time, || {
+                    q.try_produce(0).then_some(0)
+                }) {
+                    QueueOutcome::Done(_) => frame.index += 1,
+                    QueueOutcome::Stop(e) => {
+                        steps -= 1;
+                        break 'run e;
+                    }
+                }
+            }
+            Op::ConsumeToken { queue } => {
+                let q = &shared.queues[queue.index()];
+                let info = BlockInfo {
+                    queue: queue.index(),
+                    kind: BlockKind::Consume,
+                };
+                match blocking_op(shared, thread, info, &mut blocked_time, || q.try_consume()) {
+                    QueueOutcome::Done(_) => frame.index += 1,
+                    QueueOutcome::Stop(e) => {
+                        steps -= 1;
+                        break 'run e;
+                    }
+                }
+            }
+            Op::Nop => {
+                frame.index += 1;
+            }
+        }
+    };
+
+    if end == WorkerEnd::Terminated {
+        shared.monitor.terminate(thread, &shared.queues);
+    }
+    shared.progress.fetch_add(1, Ordering::Relaxed);
+
+    WorkerReport {
+        end,
+        steps,
+        entry_regs: stack.first().map(|f| f.regs.clone()).unwrap_or_default(),
+        wall: started.elapsed(),
+        blocked: blocked_time,
+    }
+}

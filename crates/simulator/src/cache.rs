@@ -148,7 +148,6 @@ mod tests {
             l2_words: 128,
             l2_assoc: 2,
             memory: 100,
-            ..CacheConfig::default()
         }
     }
 

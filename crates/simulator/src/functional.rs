@@ -14,8 +14,9 @@
 use std::collections::VecDeque;
 use std::fmt;
 
+use dswp_ir::exec::{checked_read, checked_write, new_frame, read_operand, Frame};
 use dswp_ir::interp::{eval_binary, eval_cmp, eval_unary};
-use dswp_ir::{FuncId, Function, Op, Operand, Program};
+use dswp_ir::{FuncId, Op, Program};
 
 /// Errors raised by the functional executor.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -44,10 +45,16 @@ impl fmt::Display for ExecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ExecError::MemoryOutOfBounds { address, size } => {
-                write!(f, "memory access at word {address} out of bounds (size {size})")
+                write!(
+                    f,
+                    "memory access at word {address} out of bounds (size {size})"
+                )
             }
             ExecError::Deadlock { live_threads } => {
-                write!(f, "deadlock: threads {live_threads:?} all blocked on empty queues")
+                write!(
+                    f,
+                    "deadlock: threads {live_threads:?} all blocked on empty queues"
+                )
             }
             ExecError::BadIndirectTarget(v) => {
                 write!(f, "indirect call target {v} is not a valid function id")
@@ -75,13 +82,12 @@ pub struct ExecResult {
     /// (a decoupling measure; the paper reports occupancies up to
     /// thousands of instructions, Section 2).
     pub max_queue_occupancy: usize,
-}
-
-struct Frame {
-    func: FuncId,
-    regs: Vec<i64>,
-    block: dswp_ir::BlockId,
-    index: usize,
+    /// Per-queue sequence of produced values, in production order (token
+    /// produces record a `0`). Because every queue has a single producer
+    /// stage, this stream is deterministic for valid DSWP programs and is
+    /// compared verbatim against the native runtime by the differential
+    /// test suite.
+    pub streams: Vec<Vec<i64>>,
 }
 
 struct Context {
@@ -128,6 +134,7 @@ impl<'p> Executor<'p> {
         let mut memory = program.initial_memory.clone();
         let mut queues: Vec<VecDeque<i64>> =
             (0..program.num_queues).map(|_| VecDeque::new()).collect();
+        let mut streams: Vec<Vec<i64>> = vec![Vec::new(); program.num_queues as usize];
         let mut max_occ = 0usize;
 
         let mut contexts: Vec<Context> = program
@@ -157,6 +164,7 @@ impl<'p> Executor<'p> {
                         &mut contexts[t],
                         &mut memory,
                         &mut queues,
+                        &mut streams,
                         t,
                     )? {
                         StepOutcome::Progress => {
@@ -203,6 +211,7 @@ impl<'p> Executor<'p> {
             entry_regs,
             steps,
             max_queue_occupancy: max_occ,
+            streams,
         })
     }
 }
@@ -213,20 +222,12 @@ enum StepOutcome {
     Halted,
 }
 
-fn new_frame(f: &Function, id: FuncId) -> Frame {
-    Frame {
-        func: id,
-        regs: vec![0; f.num_regs() as usize],
-        block: f.entry(),
-        index: 0,
-    }
-}
-
 fn step(
     program: &Program,
     ctx: &mut Context,
     memory: &mut [i64],
     queues: &mut [VecDeque<i64>],
+    streams: &mut [Vec<i64>],
     thread: usize,
 ) -> Result<StepOutcome, ExecError> {
     let frame = ctx.stack.last_mut().expect("live context has a frame");
@@ -234,30 +235,29 @@ fn step(
     let instr = func.block(frame.block).instrs()[frame.index];
     let op = func.op(instr);
 
-    let read = |o: Operand, regs: &[i64]| -> i64 {
-        match o {
-            Operand::Reg(r) => regs[r.index()],
-            Operand::Imm(v) => v,
-        }
-    };
-
     match *op {
         Op::Const { dst, value } => {
             frame.regs[dst.index()] = value;
             frame.index += 1;
         }
         Op::Unary { dst, op, src } => {
-            let v = read(src, &frame.regs);
+            let v = read_operand(src, &frame.regs);
             frame.regs[dst.index()] = eval_unary(op, v);
             frame.index += 1;
         }
         Op::Binary { dst, op, lhs, rhs } => {
-            let (a, b) = (read(lhs, &frame.regs), read(rhs, &frame.regs));
+            let (a, b) = (
+                read_operand(lhs, &frame.regs),
+                read_operand(rhs, &frame.regs),
+            );
             frame.regs[dst.index()] = eval_binary(op, a, b);
             frame.index += 1;
         }
         Op::Cmp { dst, op, lhs, rhs } => {
-            let (a, b) = (read(lhs, &frame.regs), read(rhs, &frame.regs));
+            let (a, b) = (
+                read_operand(lhs, &frame.regs),
+                read_operand(rhs, &frame.regs),
+            );
             frame.regs[dst.index()] = eval_cmp(op, a, b);
             frame.index += 1;
         }
@@ -265,27 +265,24 @@ fn step(
             dst, addr, offset, ..
         } => {
             let a = frame.regs[addr.index()].wrapping_add(offset);
-            let v = usize::try_from(a)
-                .ok()
-                .and_then(|x| memory.get(x).copied())
-                .ok_or(ExecError::MemoryOutOfBounds {
-                    address: a,
-                    size: memory.len(),
-                })?;
+            let v = checked_read(memory, a).ok_or(ExecError::MemoryOutOfBounds {
+                address: a,
+                size: memory.len(),
+            })?;
             frame.regs[dst.index()] = v;
             frame.index += 1;
         }
         Op::Store {
             src, addr, offset, ..
         } => {
-            let v = read(src, &frame.regs);
+            let v = read_operand(src, &frame.regs);
             let a = frame.regs[addr.index()].wrapping_add(offset);
-            let size = memory.len();
-            let slot = usize::try_from(a)
-                .ok()
-                .and_then(|x| memory.get_mut(x))
-                .ok_or(ExecError::MemoryOutOfBounds { address: a, size })?;
-            *slot = v;
+            if !checked_write(memory, a, v) {
+                return Err(ExecError::MemoryOutOfBounds {
+                    address: a,
+                    size: memory.len(),
+                });
+            }
             frame.index += 1;
         }
         Op::Call { callee } => {
@@ -326,8 +323,9 @@ fn step(
         }
         Op::Halt => return Ok(StepOutcome::Halted),
         Op::Produce { queue, src } => {
-            let v = read(src, &frame.regs);
+            let v = read_operand(src, &frame.regs);
             queues[queue.index()].push_back(v);
+            streams[queue.index()].push(v);
             frame.index += 1;
         }
         Op::Consume { queue, dst } => {
@@ -339,6 +337,7 @@ fn step(
         }
         Op::ProduceToken { queue } => {
             queues[queue.index()].push_back(0);
+            streams[queue.index()].push(0);
             frame.index += 1;
         }
         Op::ConsumeToken { queue } => {

@@ -57,7 +57,10 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::MemoryOutOfBounds { address, size } => {
-                write!(f, "memory access at word {address} out of bounds (size {size})")
+                write!(
+                    f,
+                    "memory access at word {address} out of bounds (size {size})"
+                )
             }
             SimError::BadIndirectTarget(v) => {
                 write!(f, "indirect call target {v} is not a valid function id")
@@ -267,19 +270,23 @@ impl<'p> Machine<'p> {
             }
 
             let mut stall_flags = [false; 3]; // [full-stall, empty-stall, any-issue]
-            for c in 0..num_cores {
-                if cores[c].halted {
+            for (c, core) in cores.iter_mut().enumerate().take(num_cores) {
+                if core.halted {
                     continue;
                 }
-                cores[c].stats.active_cycles += 1;
+                core.stats.active_cycles += 1;
                 match issue_cycle(
                     program,
                     cfg,
-                    &mut cores[c],
+                    core,
                     &mut memory,
                     &mut queues,
                     cache.as_mut(),
-                    if cfg.record_mem_trace { Some(&mut mem_trace) } else { None },
+                    if cfg.record_mem_trace {
+                        Some(&mut mem_trace)
+                    } else {
+                        None
+                    },
                     c,
                     cycle,
                 )? {
@@ -289,18 +296,18 @@ impl<'p> Machine<'p> {
                         last_progress = cycle;
                     }
                     CycleOutcome::Stalled(StallReason::QueueFull) => {
-                        cores[c].stats.stall_queue_full += 1;
+                        core.stats.stall_queue_full += 1;
                         stall_flags[0] = true;
                     }
                     CycleOutcome::Stalled(StallReason::QueueEmpty) => {
-                        cores[c].stats.stall_queue_empty += 1;
+                        core.stats.stall_queue_empty += 1;
                         stall_flags[1] = true;
                     }
                     CycleOutcome::Stalled(r) => {
                         match r {
-                            StallReason::Data => cores[c].stats.stall_data += 1,
-                            StallReason::FrontEnd => cores[c].stats.stall_frontend += 1,
-                            StallReason::Structural => cores[c].stats.stall_structural += 1,
+                            StallReason::Data => core.stats.stall_data += 1,
+                            StallReason::FrontEnd => core.stats.stall_frontend += 1,
+                            StallReason::Structural => core.stats.stall_structural += 1,
                             _ => unreachable!(),
                         }
                         stall_flags[2] = true; // making forward progress soon
@@ -311,7 +318,7 @@ impl<'p> Machine<'p> {
             // Occupancy bookkeeping.
             let occ: usize = queues.iter().map(|q| q.entries.len()).sum();
             *occupancy.histogram.entry(occ).or_insert(0) += 1;
-            if cycle % cfg.occupancy_sample_period == 0 {
+            if cycle.is_multiple_of(cfg.occupancy_sample_period) {
                 occupancy.timeline.push((cycle, occ));
             }
             let cls = &mut occupancy.classes;
@@ -412,11 +419,11 @@ fn issue_cycle(
                     break 'issue;
                 }
             }
-            Op::Produce { queue, .. } | Op::ProduceToken { queue } => {
-                if queues[queue.index()].entries.len() >= cfg.queue_capacity {
-                    first_block.get_or_insert(StallReason::QueueFull);
-                    break 'issue;
-                }
+            Op::Produce { queue, .. } | Op::ProduceToken { queue }
+                if queues[queue.index()].entries.len() >= cfg.queue_capacity =>
+            {
+                first_block.get_or_insert(StallReason::QueueFull);
+                break 'issue;
             }
             _ => {}
         }
@@ -715,8 +722,7 @@ mod tests {
         let header2 = g.block("header2");
         let body2 = g.block("body2");
         let exit2 = g.block("exit2");
-        let (j, lim2, done2, v, acc, base) =
-            (g.reg(), g.reg(), g.reg(), g.reg(), g.reg(), g.reg());
+        let (j, lim2, done2, v, acc, base) = (g.reg(), g.reg(), g.reg(), g.reg(), g.reg(), g.reg());
         g.switch_to(e2);
         g.iconst(j, 0);
         g.iconst(lim2, 1000);
@@ -782,7 +788,9 @@ mod tests {
         let main = f.finish();
         let mut p = pb.finish(main, 0);
         p.num_queues = 1;
-        let err = Machine::new(&p, MachineConfig::full_width()).run().unwrap_err();
+        let err = Machine::new(&p, MachineConfig::full_width())
+            .run()
+            .unwrap_err();
         assert!(matches!(err, SimError::Deadlock { .. }));
     }
 

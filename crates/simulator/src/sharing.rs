@@ -98,7 +98,11 @@ mod tests {
 
     #[test]
     fn disjoint_lines_share_nothing() {
-        let t = vec![acc(0, 0, 0, true), acc(1, 1, 100, true), acc(0, 2, 1, false)];
+        let t = vec![
+            acc(0, 0, 0, true),
+            acc(1, 1, 100, true),
+            acc(0, 2, 1, false),
+        ];
         let r = analyze(&t, 8, 2);
         assert_eq!(r.invalidations, 0);
         assert!(!r.has_false_sharing());

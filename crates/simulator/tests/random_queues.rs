@@ -1,16 +1,17 @@
-//! Property tests for queue semantics and engine agreement: random
+//! Randomized tests for queue semantics and engine agreement: random
 //! producer/consumer programs must preserve FIFO order, and the timing
 //! model must compute exactly what the functional executor computes,
 //! independent of queue capacity and communication latency.
-
-use proptest::prelude::*;
+//!
+//! Cases are enumerated from deterministic seeds (see `dswp-testutil`), so
+//! a failure is reproducible by its printed seed.
 
 use dswp_ir::{Program, ProgramBuilder, QueueId};
 use dswp_sim::{Executor, Machine, MachineConfig};
+use dswp_testutil::{cases, Rng};
 
-/// Builds a two-thread program: thread 0 produces `values` on a queue (plus
-/// a count header); thread 1 consumes them and stores each to memory in
-/// order.
+/// Builds a two-thread program: thread 0 produces `values` on a queue;
+/// thread 1 consumes them and stores each to memory in order.
 fn fifo_program(values: &[i64]) -> Program {
     let n = values.len() as i64;
     let q = QueueId(0);
@@ -56,40 +57,61 @@ fn fifo_program(values: &[i64]) -> Program {
     p
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    #[test]
-    fn queues_are_fifo_on_both_engines(values in prop::collection::vec(any::<i64>(), 1..40)) {
+#[test]
+fn queues_are_fifo_on_both_engines() {
+    for seed in 0..cases(64) as u64 {
+        let mut rng = Rng::new(seed);
+        let len = rng.range(1, 40);
+        let values = rng.vec(len, |r| r.next_u64() as i64);
         let p = fifo_program(&values);
 
         let exec = Executor::new(&p).run().unwrap();
-        prop_assert_eq!(&exec.memory[..values.len()], values.as_slice());
+        assert_eq!(
+            &exec.memory[..values.len()],
+            values.as_slice(),
+            "seed {seed}"
+        );
 
         let sim = Machine::new(&p, MachineConfig::full_width()).run().unwrap();
-        prop_assert_eq!(&sim.memory[..values.len()], values.as_slice());
+        assert_eq!(
+            &sim.memory[..values.len()],
+            values.as_slice(),
+            "seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn capacity_and_latency_never_change_results(
-        values in prop::collection::vec(-1000i64..1000, 1..30),
-        capacity in 1usize..64,
-        latency in 1u64..40,
-    ) {
+#[test]
+fn capacity_and_latency_never_change_results() {
+    for seed in 0..cases(64) as u64 {
+        let mut rng = Rng::new(0x4361_7061 ^ seed);
+        let len = rng.range(1, 30);
+        let values = rng.vec(len, |r| r.range_i64(-1000, 1000));
+        let capacity = rng.range(1, 64);
+        let latency = rng.range(1, 40) as u64;
+
         let p = fifo_program(&values);
         let cfg = MachineConfig::full_width()
             .with_queue_capacity(capacity)
             .with_comm_latency(latency);
         let sim = Machine::new(&p, cfg).run().unwrap();
-        prop_assert_eq!(&sim.memory[..values.len()], values.as_slice());
+        assert_eq!(
+            &sim.memory[..values.len()],
+            values.as_slice(),
+            "seed {seed}"
+        );
         // Occupancy can never exceed the configured capacity.
-        prop_assert!(sim.occupancy.max() <= capacity);
+        assert!(sim.occupancy.max() <= capacity, "seed {seed}");
     }
+}
 
-    #[test]
-    fn smaller_queues_and_longer_latencies_never_speed_things_up(
-        values in prop::collection::vec(-10i64..10, 8..24),
-    ) {
+#[test]
+fn smaller_queues_and_longer_latencies_never_speed_things_up() {
+    for seed in 0..cases(32) as u64 {
+        let mut rng = Rng::new(0x4C61_7465 ^ seed);
+        let len = rng.range(8, 24);
+        let values = rng.vec(len, |r| r.range_i64(-10, 10));
+
         let p = fifo_program(&values);
         let base = Machine::new(&p, MachineConfig::full_width().with_queue_capacity(64))
             .run()
@@ -97,10 +119,10 @@ proptest! {
         let tight = Machine::new(&p, MachineConfig::full_width().with_queue_capacity(1))
             .run()
             .unwrap();
-        prop_assert!(tight.cycles >= base.cycles);
+        assert!(tight.cycles >= base.cycles, "seed {seed}");
         let slow = Machine::new(&p, MachineConfig::full_width().with_comm_latency(30))
             .run()
             .unwrap();
-        prop_assert!(slow.cycles >= base.cycles);
+        assert!(slow.cycles >= base.cycles, "seed {seed}");
     }
 }

@@ -1,0 +1,142 @@
+//! Deterministic, dependency-free randomness for the workspace's
+//! randomized tests.
+//!
+//! The seed tests originally used `proptest`, which this environment cannot
+//! fetch from a registry. The randomized suites now draw from this crate's
+//! [`Rng`] (a SplitMix64 generator) instead: every test enumerates seeds
+//! `0..cases(N)` so failures are reproducible by seed number, runs are
+//! identical across machines, and the workspace builds fully offline.
+//!
+//! Case counts scale with the `slow-tests` feature (×8) or the
+//! `DSWP_TEST_CASES` environment variable (an absolute override), so CI can
+//! cheaply deepen coverage without code changes.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+/// A SplitMix64 pseudo-random generator: tiny, fast, and statistically
+/// solid for test-case generation (it seeds xoshiro in the literature).
+#[derive(Clone, Debug)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates a generator from a seed. Distinct seeds give independent
+    /// streams.
+    pub fn new(seed: u64) -> Self {
+        // Avalanche the seed once so small consecutive seeds diverge fast.
+        Rng {
+            state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD1B5_4A32_D192_ED03,
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `usize` in `[0, bound)`. `bound` must be non-zero.
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "below(0)");
+        // Multiply-shift rejection-free mapping; bias is negligible for
+        // test-sized bounds (< 2^32).
+        ((self.next_u64() as u128 * bound as u128) >> 64) as usize
+    }
+
+    /// Uniform `i64` in `[lo, hi)`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "empty range");
+        let span = hi.wrapping_sub(lo) as u64;
+        lo.wrapping_add(((self.next_u64() as u128 * span as u128) >> 64) as i64)
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range");
+        lo + self.below(hi - lo)
+    }
+
+    /// A uniformly random boolean.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// `true` with probability `num / den`.
+    pub fn chance(&mut self, num: usize, den: usize) -> bool {
+        self.below(den) < num
+    }
+
+    /// A uniformly chosen element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below(items.len())]
+    }
+
+    /// A vector of `len` draws from `f`.
+    pub fn vec<T>(&mut self, len: usize, mut f: impl FnMut(&mut Rng) -> T) -> Vec<T> {
+        (0..len).map(|_| f(self)).collect()
+    }
+}
+
+/// The number of randomized cases a test should run.
+///
+/// Returns `default`, multiplied by 8 under the `slow-tests` feature;
+/// the `DSWP_TEST_CASES` environment variable overrides both.
+pub fn cases(default: usize) -> usize {
+    if let Ok(v) = std::env::var("DSWP_TEST_CASES") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    if cfg!(feature = "slow-tests") {
+        default * 8
+    } else {
+        default
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = Rng::new(42);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Rng::new(42);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<u64> = {
+            let mut r = Rng::new(43);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn bounds_are_respected() {
+        let mut r = Rng::new(7);
+        for _ in 0..10_000 {
+            let x = r.range_i64(-5, 9);
+            assert!((-5..9).contains(&x));
+            let u = r.range(3, 10);
+            assert!((3..10).contains(&u));
+        }
+    }
+
+    #[test]
+    fn consecutive_seeds_diverge() {
+        let mut seen = std::collections::HashSet::new();
+        for s in 0..256u64 {
+            assert!(seen.insert(Rng::new(s).next_u64()));
+        }
+    }
+}

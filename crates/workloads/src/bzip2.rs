@@ -47,8 +47,7 @@ pub fn build(size: Size, promote_globals: bool) -> Workload {
     let join = f.block("join");
     let exit = f.block("exit");
 
-    let (i, nn, done, base, inb, outb) =
-        (f.reg(), f.reg(), f.reg(), f.reg(), f.reg(), f.reg());
+    let (i, nn, done, base, inb, outb) = (f.reg(), f.reg(), f.reg(), f.reg(), f.reg(), f.reg());
     let (v, bsbuff, bslive, outpos, enough, chunk, sh, addr, mask) = (
         f.reg(),
         f.reg(),

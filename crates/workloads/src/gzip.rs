@@ -33,8 +33,7 @@ pub fn build(size: Size) -> Workload {
     let body = f.block("body");
     let exit = f.block("exit");
 
-    let (pos, nn, done, headb, bufb, base) =
-        (f.reg(), f.reg(), f.reg(), f.reg(), f.reg(), f.reg());
+    let (pos, nn, done, headb, bufb, base) = (f.reg(), f.reg(), f.reg(), f.reg(), f.reg(), f.reg());
     let (c, h, m, len, sum, addr, t) = (
         f.reg(),
         f.reg(),

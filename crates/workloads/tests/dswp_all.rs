@@ -29,7 +29,11 @@ fn transform_and_check(w: &Workload, opts: &DswpOptions) -> dswp::DswpReport {
     let exec = Executor::new(&p)
         .run()
         .unwrap_or_else(|e| panic!("{}: functional: {e}", w.name));
-    assert_eq!(exec.memory, baseline.memory, "{}: functional memory", w.name);
+    assert_eq!(
+        exec.memory, baseline.memory,
+        "{}: functional memory",
+        w.name
+    );
 
     let sim = Machine::new(&p, MachineConfig::full_width())
         .run()
@@ -65,9 +69,13 @@ fn epicdec_alias_precision_changes_scc_structure() {
     // Section 5.1: conservative analysis merges the loads and stores of
     // result[] into one SCC; precise (affine) analysis splits them.
     let w = epic::build(Size::Test, 1);
-    let conservative =
-        dswp::loop_stats(&w.program, w.program.main(), w.header, AliasMode::Conservative)
-            .unwrap();
+    let conservative = dswp::loop_stats(
+        &w.program,
+        w.program.main(),
+        w.header,
+        AliasMode::Conservative,
+    )
+    .unwrap();
     let precise =
         dswp::loop_stats(&w.program, w.program.main(), w.header, AliasMode::Precise).unwrap();
     assert!(
@@ -82,7 +90,11 @@ fn epicdec_alias_precision_changes_scc_structure() {
 #[test]
 fn epicdec_transforms_correctly_at_every_precision_and_unroll() {
     for unroll in [1usize, 2, 8] {
-        for alias in [AliasMode::Conservative, AliasMode::Region, AliasMode::Precise] {
+        for alias in [
+            AliasMode::Conservative,
+            AliasMode::Region,
+            AliasMode::Precise,
+        ] {
             let w = epic::build(Size::Test, unroll);
             let baseline = Interpreter::new(&w.program).run().unwrap();
             let mut p = w.program.clone();
@@ -94,9 +106,9 @@ fn epicdec_transforms_correctly_at_every_precision_and_unroll() {
             };
             match dswp_loop(&mut p, main, w.header, &baseline.profile, &o) {
                 Ok(_) => {
-                    let exec = Executor::new(&p).run().unwrap_or_else(|e| {
-                        panic!("epic unroll={unroll} alias={alias:?}: {e}")
-                    });
+                    let exec = Executor::new(&p)
+                        .run()
+                        .unwrap_or_else(|e| panic!("epic unroll={unroll} alias={alias:?}: {e}"));
                     assert_eq!(
                         exec.memory, baseline.memory,
                         "epic unroll={unroll} alias={alias:?}"
@@ -104,7 +116,11 @@ fn epicdec_transforms_correctly_at_every_precision_and_unroll() {
                 }
                 Err(DswpError::SingleScc | DswpError::NotProfitable) => {
                     // Acceptable only for the conservative configurations.
-                    assert_eq!(alias, AliasMode::Conservative, "unexpected bail at {alias:?}");
+                    assert_eq!(
+                        alias,
+                        AliasMode::Conservative,
+                        "unexpected bail at {alias:?}"
+                    );
                 }
                 Err(e) => panic!("epic unroll={unroll} alias={alias:?}: {e}"),
             }
@@ -117,10 +133,15 @@ fn adpcm_hyperblock_variant_has_denser_recurrences() {
     // Section 5.2: the predicated build has fewer SCCs with a dominant one.
     let hb = adpcm::build(Size::Test, true);
     let cfg = adpcm::build(Size::Test, false);
-    let s_hb = dswp::loop_stats(&hb.program, hb.program.main(), hb.header, AliasMode::Region)
-        .unwrap();
-    let s_cfg = dswp::loop_stats(&cfg.program, cfg.program.main(), cfg.header, AliasMode::Region)
-        .unwrap();
+    let s_hb =
+        dswp::loop_stats(&hb.program, hb.program.main(), hb.header, AliasMode::Region).unwrap();
+    let s_cfg = dswp::loop_stats(
+        &cfg.program,
+        cfg.program.main(),
+        cfg.header,
+        AliasMode::Region,
+    )
+    .unwrap();
     let frac_hb = s_hb.largest_scc as f64 / s_hb.instrs as f64;
     let frac_cfg = s_cfg.largest_scc as f64 / s_cfg.instrs as f64;
     assert!(

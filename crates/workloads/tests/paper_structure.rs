@@ -47,7 +47,10 @@ fn accumulation_kernels_have_singleton_fp_recurrences() {
                 comp.len() == 1
                     && a.pdg
                         .instr_of(comp[0])
-                        .map(|i| f.op(i).to_string().starts_with("r") && f.op(i).to_string().contains("fadd"))
+                        .map(|i| {
+                            f.op(i).to_string().starts_with("r")
+                                && f.op(i).to_string().contains("fadd")
+                        })
                         .unwrap_or(false)
             })
             .count();
@@ -88,8 +91,13 @@ fn adpcm_variants_differ_exactly_as_section_5_2_describes() {
     let hb = adpcm::build(Size::Test, true);
     let nohb = adpcm::build(Size::Test, false);
     let s_hb = loop_stats(&hb.program, hb.program.main(), hb.header, AliasMode::Region).unwrap();
-    let s_no = loop_stats(&nohb.program, nohb.program.main(), nohb.header, AliasMode::Region)
-        .unwrap();
+    let s_no = loop_stats(
+        &nohb.program,
+        nohb.program.main(),
+        nohb.header,
+        AliasMode::Region,
+    )
+    .unwrap();
     // Paper: 4 SCCs (94% in one) vs 38 SCCs (largest 10%).
     assert_eq!(s_hb.sccs, 4);
     assert!(s_hb.largest_scc as f64 / s_hb.instrs as f64 > 0.9);
@@ -112,8 +120,7 @@ fn pointer_chasers_resist_precise_analysis() {
     // mcf and ammp addresses come from loads: no amount of affine analysis
     // may split their chase recurrences.
     for w in [mcf::build(Size::Test), ammp::build(Size::Test)] {
-        let region =
-            loop_stats(&w.program, w.program.main(), w.header, AliasMode::Region).unwrap();
+        let region = loop_stats(&w.program, w.program.main(), w.header, AliasMode::Region).unwrap();
         let precise =
             loop_stats(&w.program, w.program.main(), w.header, AliasMode::Precise).unwrap();
         assert_eq!(region.sccs, precise.sccs, "{}", w.name);

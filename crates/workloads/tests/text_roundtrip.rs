@@ -13,8 +13,7 @@ use dswp_workloads::{paper_suite, Size};
 fn every_workload_round_trips_through_text() {
     for w in paper_suite(Size::Test) {
         let text = to_text(&w.program);
-        let parsed = parse_program(&text)
-            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let parsed = parse_program(&text).unwrap_or_else(|e| panic!("{}: {e}", w.name));
         verify_program(&parsed).unwrap_or_else(|e| panic!("{}: {e}", w.name));
         assert_eq!(to_text(&parsed), text, "{}: not a fixed point", w.name);
 
@@ -31,8 +30,14 @@ fn transformed_programs_round_trip_through_text() {
         let baseline = Interpreter::new(&w.program).run().unwrap();
         let mut p = w.program.clone();
         let main = p.main();
-        if dswp_loop(&mut p, main, w.header, &baseline.profile, &DswpOptions::default())
-            .is_err()
+        if dswp_loop(
+            &mut p,
+            main,
+            w.header,
+            &baseline.profile,
+            &DswpOptions::default(),
+        )
+        .is_err()
         {
             continue;
         }

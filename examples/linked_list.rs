@@ -30,7 +30,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // DSWP version.
     let mut ds = w.program.clone();
-    let dswp_report = dswp_loop(&mut ds, main, w.header, &baseline.profile, &DswpOptions::default())?;
+    let dswp_report = dswp_loop(
+        &mut ds,
+        main,
+        w.header,
+        &baseline.profile,
+        &DswpOptions::default(),
+    )?;
     println!(
         "DSWP: {} SCCs partitioned into {} pipeline stages\n",
         dswp_report.num_sccs, dswp_report.partitioning.num_threads

@@ -4,11 +4,11 @@
 //!
 //! Run with `cargo run --release --example mcf_partitioning`.
 
+use dswp_repro::analysis::AliasMode;
 use dswp_repro::dswp::{analyze_loop, dswp_loop, enumerate_two_thread, DswpOptions};
 use dswp_repro::ir::interp::Interpreter;
 use dswp_repro::sim::{Machine, MachineConfig};
 use dswp_repro::workloads::{mcf, Size};
-use dswp_repro::analysis::AliasMode;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let w = mcf::build(Size::Paper);
@@ -19,7 +19,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("181.mcf loop DAG_SCC ({} components):", analysis.dag.len());
     for (i, comp) in analysis.dag.sccs.iter().enumerate() {
         let succs: Vec<usize> = analysis.dag.succs(i).collect();
-        println!("  SCC{i}: {} instruction(s), arcs to {:?}", comp.len(), succs);
+        println!(
+            "  SCC{i}: {} instruction(s), arcs to {:?}",
+            comp.len(),
+            succs
+        );
     }
 
     let cfg = MachineConfig::full_width();
@@ -29,14 +33,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The heuristic's own pick, for comparison.
     let auto = {
         let mut p = w.program.clone();
-        dswp_loop(&mut p, main, w.header, &baseline.profile, &DswpOptions::default())
-            .ok()
-            .map(|r| r.partitioning)
+        dswp_loop(
+            &mut p,
+            main,
+            w.header,
+            &baseline.profile,
+            &DswpOptions::default(),
+        )
+        .ok()
+        .map(|r| r.partitioning)
     };
 
     println!(
-        "{:<18} {:>9} {:>10} {:>9}  {}",
-        "P1 | P2 (instrs)", "speedup", "occ(mean)", "occ(max)", ""
+        "{:<18} {:>9} {:>10} {:>9}",
+        "P1 | P2 (instrs)", "speedup", "occ(mean)", "occ(max)"
     );
     for part in enumerate_two_thread(&analysis.dag, 64) {
         let mut p = w.program.clone();

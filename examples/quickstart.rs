@@ -69,7 +69,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         mem[outer_at + 2] = inner_at as i64;
         let count = o % 3 + 1;
         for k in 0..count {
-            mem[inner_at] = if k + 1 == count { 0 } else { (inner_at + 4) as i64 };
+            mem[inner_at] = if k + 1 == count {
+                0
+            } else {
+                (inner_at + 4) as i64
+            };
             mem[inner_at + 3] = ((o * 7 + k) % 100) as i64;
             inner_at += 4;
         }
@@ -109,7 +113,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = MachineConfig::full_width();
     let base_sim = Machine::new(&original, cfg.clone()).run()?;
     let dswp_sim = Machine::new(&program, cfg).run()?;
-    assert_eq!(dswp_sim.memory[0], baseline.memory[0], "DSWP result must match");
+    assert_eq!(
+        dswp_sim.memory[0], baseline.memory[0],
+        "DSWP result must match"
+    );
     println!(
         "\nsingle-threaded: {} cycles    DSWP dual-core: {} cycles    speedup {:.2}x",
         base_sim.cycles,

@@ -3,8 +3,8 @@
 //!
 //! Run with `cargo run --release --example wordcount`.
 
-use dswp_repro::dswp::{dswp_loop, loop_stats, DswpOptions};
 use dswp_repro::analysis::AliasMode;
+use dswp_repro::dswp::{dswp_loop, loop_stats, DswpOptions};
 use dswp_repro::ir::interp::Interpreter;
 use dswp_repro::sim::{Machine, MachineConfig};
 use dswp_repro::workloads::{wc, Size};
@@ -26,7 +26,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let mut p = w.program.clone();
-    let report = dswp_loop(&mut p, main, w.header, &baseline.profile, &DswpOptions::default())?;
+    let report = dswp_loop(
+        &mut p,
+        main,
+        w.header,
+        &baseline.profile,
+        &DswpOptions::default(),
+    )?;
     println!(
         "\nDSWP split the loop into {} stages; thread 1 runs function {:?}",
         report.partitioning.num_threads, report.artifacts.aux_functions

@@ -17,19 +17,30 @@
 //!   --emit FILE            write the (transformed) program text to FILE
 //!   --sim [full|half]      run on the timing model             (default full)
 //!   --comm N               inter-core latency for --sim        (default 1)
-//!   --run                  run on the functional executor
+//!   --run [functional|native]  execute the program: `functional` on the
+//!                          deterministic executor (default), `native` on
+//!                          real OS threads (one per pipeline stage)
+//!   --queue-cap N          native queue capacity in values     (default 32)
 //! ```
 
 use std::process::ExitCode;
 
 use dswp_repro::analysis::{AliasMode, DagScc};
+use dswp_repro::dswp::PipelineMap;
 use dswp_repro::dswp::{
     analyze_loop, annotate_loop_affine, dswp_loop, loop_stats, select_loop, unroll_loop,
     DswpOptions,
 };
 use dswp_repro::ir::interp::Interpreter;
 use dswp_repro::ir::{parse_program, to_text, BlockId};
+use dswp_repro::rt::{RtConfig, Runtime};
 use dswp_repro::sim::{Executor, Machine, MachineConfig};
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum RunMode {
+    Functional,
+    Native,
+}
 
 struct Args {
     file: String,
@@ -43,14 +54,16 @@ struct Args {
     emit: Option<String>,
     sim: Option<MachineConfig>,
     comm: u64,
-    run: bool,
+    run: Option<RunMode>,
+    queue_cap: usize,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: dswpc <file.ir> [--dswp] [--loop bbN] [--unroll K] \
          [--alias conservative|region|precise] [--threads N] [--stats] \
-         [--dot FILE] [--emit FILE] [--sim [full|half]] [--comm N] [--run]"
+         [--dot FILE] [--emit FILE] [--sim [full|half]] [--comm N] \
+         [--run [functional|native]] [--queue-cap N]"
     );
     std::process::exit(2);
 }
@@ -68,21 +81,48 @@ fn parse_args() -> Args {
         emit: None,
         sim: None,
         comm: 1,
-        run: false,
+        run: None,
+        queue_cap: 32,
     };
     let mut it = std::env::args().skip(1).peekable();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--dswp" => args.dswp = true,
             "--stats" => args.stats = true,
-            "--run" => args.run = true,
+            "--run" => {
+                args.run = Some(match it.peek().map(String::as_str) {
+                    Some("native") => {
+                        it.next();
+                        RunMode::Native
+                    }
+                    Some("functional") => {
+                        it.next();
+                        RunMode::Functional
+                    }
+                    _ => RunMode::Functional,
+                });
+            }
+            "--queue-cap" => {
+                args.queue_cap = it
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage());
+            }
             "--loop" => {
                 let v = it.next().unwrap_or_else(|| usage());
-                let n = v.trim_start_matches("bb").parse().unwrap_or_else(|_| usage());
+                let n = v
+                    .trim_start_matches("bb")
+                    .parse()
+                    .unwrap_or_else(|_| usage());
                 args.loop_header = Some(BlockId(n));
             }
             "--unroll" => {
-                args.unroll = Some(it.next().and_then(|v| v.parse::<usize>().ok()).unwrap_or_else(|| usage()));
+                args.unroll = Some(
+                    it.next()
+                        .and_then(|v| v.parse::<usize>().ok())
+                        .unwrap_or_else(|| usage()),
+                );
             }
             "--alias" => {
                 args.alias = match it.next().as_deref() {
@@ -93,12 +133,18 @@ fn parse_args() -> Args {
                 };
             }
             "--threads" => {
-                args.threads = it.next().and_then(|v| v.parse::<usize>().ok()).unwrap_or_else(|| usage());
+                args.threads = it
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .unwrap_or_else(|| usage());
             }
             "--dot" => args.dot = Some(it.next().unwrap_or_else(|| usage())),
             "--emit" => args.emit = Some(it.next().unwrap_or_else(|| usage())),
             "--comm" => {
-                args.comm = it.next().and_then(|v| v.parse::<u64>().ok()).unwrap_or_else(|| usage());
+                args.comm = it
+                    .next()
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .unwrap_or_else(|| usage());
             }
             "--sim" => {
                 let cfg = match it.peek().map(String::as_str) {
@@ -145,8 +191,7 @@ fn main() -> ExitCode {
     // Profile lazily: multi-threaded inputs (e.g. a previously emitted DSWP
     // program) cannot run on the single-context interpreter, but they also
     // need no profile for --run / --sim.
-    let needs_loop =
-        args.dswp || args.stats || args.unroll.is_some() || args.dot.is_some();
+    let needs_loop = args.dswp || args.stats || args.unroll.is_some() || args.dot.is_some();
     let baseline = match Interpreter::new(&program).run() {
         Ok(r) => Some(r),
         Err(e) => {
@@ -253,8 +298,8 @@ fn main() -> ExitCode {
         eprintln!("wrote program to {path}");
     }
 
-    if args.run {
-        match Executor::new(&program).run() {
+    match args.run {
+        Some(RunMode::Functional) => match Executor::new(&program).run() {
             Ok(r) => {
                 println!("functional: {:?} steps per context", r.steps);
                 print_mem("memory", &r.memory);
@@ -263,7 +308,49 @@ fn main() -> ExitCode {
                 eprintln!("dswpc: execution failed: {e}");
                 return ExitCode::FAILURE;
             }
+        },
+        Some(RunMode::Native) => {
+            let map = PipelineMap::infer(&program);
+            if let Err(e) = map.validate() {
+                eprintln!("dswpc: warning: pipeline map: {e}");
+            }
+            eprint!("{}", map.summary(&program));
+            let cfg = RtConfig::default().queue_capacity(args.queue_cap);
+            match Runtime::new(&program).with_config(cfg).run() {
+                Ok(r) => {
+                    println!(
+                        "native: {:.3} ms on {} stage thread(s)",
+                        r.elapsed.as_secs_f64() * 1e3,
+                        r.stages.len()
+                    );
+                    for (i, s) in r.stages.iter().enumerate() {
+                        println!(
+                            "  stage {i}: {} steps, {:.3} ms wall ({:.3} ms blocked){}",
+                            s.steps,
+                            s.wall.as_secs_f64() * 1e3,
+                            s.blocked.as_secs_f64() * 1e3,
+                            if s.parked { ", parked" } else { "" }
+                        );
+                    }
+                    for (q, s) in r.queues.iter().enumerate().filter(|(_, s)| s.produced > 0) {
+                        println!(
+                            "  queue {q}: {} values, max occupancy {}/{}, blocks {}p/{}c",
+                            s.produced,
+                            s.max_occupancy,
+                            s.capacity,
+                            s.producer_blocks,
+                            s.consumer_blocks
+                        );
+                    }
+                    print_mem("memory", &r.memory);
+                }
+                Err(e) => {
+                    eprintln!("dswpc: native execution failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
         }
+        None => {}
     }
     if let Some(cfg) = args.sim {
         let cfg = cfg.with_comm_latency(args.comm);

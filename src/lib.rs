@@ -8,6 +8,7 @@
 //! * [`analysis`] — dependence analyses and the PDG (`dswp-analysis`),
 //! * [`dswp`] — the Decoupled Software Pipelining transformation (`dswp`),
 //! * [`sim`] — the dual-core CMP timing model (`dswp-sim`),
+//! * [`rt`] — the native multi-threaded runtime (`dswp-rt`),
 //! * [`workloads`] — the benchmark kernels (`dswp-workloads`).
 //!
 //! See the repository `README.md` for a tour and `DESIGN.md` for the system
@@ -16,5 +17,6 @@
 pub use dswp;
 pub use dswp_analysis as analysis;
 pub use dswp_ir as ir;
+pub use dswp_rt as rt;
 pub use dswp_sim as sim;
 pub use dswp_workloads as workloads;

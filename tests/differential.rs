@@ -1,0 +1,137 @@
+//! Differential suite over the three execution engines.
+//!
+//! For every `paper_suite()` workload, the DSWP-transformed program is run
+//! on the deterministic functional `Executor` (unbounded queues, one OS
+//! thread) and the native `dswp-rt` runtime (bounded queues, one OS thread
+//! per pipeline stage), and the observable results are compared against
+//! each other and against the single-threaded `Interpreter` baseline of
+//! the *original* program:
+//!
+//! * final shared memory (the program's output),
+//! * the main thread's entry-frame registers (the "return value"),
+//! * the per-queue produced-value streams,
+//! * even the per-context retired-instruction counts.
+//!
+//! Each engine implements scheduling independently, so agreement on all
+//! four is strong evidence that the DSWP transformation produced a truly
+//! schedule-independent pipeline — the property the paper's correctness
+//! argument (Section 2.2.4) relies on.
+
+use dswp_repro::dswp::{dswp_loop, DswpOptions, PipelineMap};
+use dswp_repro::ir::interp::Interpreter;
+use dswp_repro::ir::Program;
+use dswp_repro::rt::{RtConfig, Runtime};
+use dswp_repro::sim::Executor;
+use dswp_repro::workloads::{paper_suite, Size, Workload};
+
+/// Profiles and DSWP-transforms a workload with default options.
+fn transform(w: &Workload) -> (Program, Vec<i64>) {
+    let baseline = Interpreter::new(&w.program)
+        .run()
+        .unwrap_or_else(|e| panic!("{}: baseline failed: {e}", w.name));
+    let mut p = w.program.clone();
+    let main = p.main();
+    dswp_loop(
+        &mut p,
+        main,
+        w.header,
+        &baseline.profile,
+        &DswpOptions::default(),
+    )
+    .unwrap_or_else(|e| panic!("{}: DSWP failed: {e}", w.name));
+    (p, baseline.memory)
+}
+
+#[test]
+fn native_runtime_matches_oracle_on_every_workload() {
+    for w in paper_suite(Size::Test) {
+        let (transformed, baseline_memory) = transform(&w);
+
+        let exec = Executor::new(&transformed)
+            .run()
+            .unwrap_or_else(|e| panic!("{}: executor failed: {e}", w.name));
+        let native = Runtime::new(&transformed)
+            .with_config(RtConfig::default().record_streams(true))
+            .run()
+            .unwrap_or_else(|e| panic!("{}: native runtime failed: {e}", w.name));
+
+        // Output memory: all three engines agree.
+        assert_eq!(
+            exec.memory, baseline_memory,
+            "{}: executor vs baseline",
+            w.name
+        );
+        assert_eq!(
+            native.memory, baseline_memory,
+            "{}: native vs baseline",
+            w.name
+        );
+
+        // Return value (entry-frame registers of the main context).
+        assert_eq!(native.entry_regs, exec.entry_regs, "{}: entry regs", w.name);
+
+        // Produce/consume value streams, per queue, in production order.
+        let streams = native.streams.as_ref().expect("streams recorded");
+        assert_eq!(streams, &exec.streams, "{}: queue streams", w.name);
+
+        // Retired instructions per context.
+        let native_steps: Vec<u64> = native.stages.iter().map(|s| s.steps).collect();
+        assert_eq!(native_steps, exec.steps, "{}: per-context steps", w.name);
+    }
+}
+
+#[test]
+fn transformed_workloads_have_valid_pipeline_maps() {
+    for w in paper_suite(Size::Test) {
+        let (transformed, _) = transform(&w);
+        let map = PipelineMap::infer(&transformed);
+        assert_eq!(
+            map.stages.len(),
+            transformed.num_threads(),
+            "{}: one stage per context",
+            w.name
+        );
+        map.validate()
+            .unwrap_or_else(|e| panic!("{}: pipeline map invalid: {e}", w.name));
+        // Every stage beyond the main context reaches real code (its master
+        // function plus the indirect-call-resolved loop body).
+        for (i, stage) in map.stages.iter().enumerate().skip(1) {
+            assert!(
+                stage.functions.len() >= 2,
+                "{}: stage {i} resolved no aux loop function",
+                w.name
+            );
+        }
+    }
+}
+
+#[test]
+fn differential_holds_for_a_three_stage_pipeline() {
+    use dswp_repro::analysis::AliasMode;
+
+    let w = dswp_repro::workloads::mcf::build(Size::Test);
+    let baseline = Interpreter::new(&w.program).run().unwrap();
+    let main = w.program.main();
+    let analysis =
+        dswp_repro::dswp::analyze_loop(&w.program, main, w.header, AliasMode::Region).unwrap();
+    let n = analysis.dag.len();
+    let part = dswp_repro::dswp::Partitioning::new((0..n).map(|i| i * 3 / n).collect(), 3);
+    let mut p = w.program.clone();
+    let opts = DswpOptions {
+        partitioning: Some(part),
+        max_threads: 3,
+        ..DswpOptions::default()
+    };
+    dswp_loop(&mut p, main, w.header, &baseline.profile, &opts).unwrap();
+    assert_eq!(p.num_threads(), 3);
+
+    let exec = Executor::new(&p).run().unwrap();
+    let native = Runtime::new(&p)
+        .with_config(RtConfig::default().record_streams(true))
+        .run()
+        .unwrap();
+    assert_eq!(native.memory, baseline.memory);
+    assert_eq!(native.entry_regs, exec.entry_regs);
+    assert_eq!(native.streams.unwrap(), exec.streams);
+    assert_eq!(native.stages.len(), 3);
+}

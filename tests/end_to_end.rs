@@ -20,8 +20,8 @@ fn the_readme_flow_works() {
     let baseline = Interpreter::new(&program).run().unwrap();
 
     // 3. Let the driver select the candidate loop (Section 4's criterion).
-    let header = select_loop(&program, main, &baseline.profile, 4.0)
-        .expect("mcf has an obvious hot loop");
+    let header =
+        select_loop(&program, main, &baseline.profile, 4.0).expect("mcf has an obvious hot loop");
     assert_eq!(header, w.header);
 
     // 4. Transform.
@@ -74,7 +74,14 @@ fn timing_model_is_deterministic() {
     let baseline = Interpreter::new(&w.program).run().unwrap();
     let mut p = w.program.clone();
     let main = p.main();
-    dswp_loop(&mut p, main, w.header, &baseline.profile, &DswpOptions::default()).unwrap();
+    dswp_loop(
+        &mut p,
+        main,
+        w.header,
+        &baseline.profile,
+        &DswpOptions::default(),
+    )
+    .unwrap();
 
     let a = Machine::new(&p, MachineConfig::full_width()).run().unwrap();
     let b = Machine::new(&p, MachineConfig::full_width()).run().unwrap();
@@ -92,10 +99,10 @@ fn alias_precision_is_monotone_in_scc_count() {
         let main = w.program.main();
         let c = dswp_repro::dswp::loop_stats(&w.program, main, w.header, AliasMode::Conservative)
             .unwrap();
-        let r = dswp_repro::dswp::loop_stats(&w.program, main, w.header, AliasMode::Region)
-            .unwrap();
-        let p = dswp_repro::dswp::loop_stats(&w.program, main, w.header, AliasMode::Precise)
-            .unwrap();
+        let r =
+            dswp_repro::dswp::loop_stats(&w.program, main, w.header, AliasMode::Region).unwrap();
+        let p =
+            dswp_repro::dswp::loop_stats(&w.program, main, w.header, AliasMode::Precise).unwrap();
         assert!(c.sccs <= r.sccs, "{}: {} > {}", w.name, c.sccs, r.sccs);
         assert!(r.sccs <= p.sccs, "{}: {} > {}", w.name, r.sccs, p.sccs);
         assert!(c.largest_scc >= r.largest_scc, "{}", w.name);
