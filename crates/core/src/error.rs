@@ -31,6 +31,11 @@ pub enum DswpError {
         /// Hardware contexts available.
         available: usize,
     },
+    /// The input program failed structural verification (out-of-range
+    /// registers/blocks/queues, empty or unterminated blocks, …). Raised at
+    /// the public API boundary so malformed input surfaces as a typed error
+    /// instead of an index panic deep inside the transformation.
+    InvalidProgram(String),
 }
 
 impl fmt::Display for DswpError {
@@ -63,6 +68,7 @@ impl fmt::Display for DswpError {
                 f,
                 "partitioning requests {requested} threads but only {available} are available"
             ),
+            DswpError::InvalidProgram(msg) => write!(f, "invalid program: {msg}"),
         }
     }
 }

@@ -15,6 +15,7 @@
 //! important loop that iterates enough times per invocation.
 
 use dswp_ir::interp::Profile;
+use dswp_ir::verify::verify_program;
 use dswp_ir::{BlockId, FuncId, LatencyTable, Program};
 
 use dswp_analysis::{build_pdg, find_loops, AliasMode, DagScc, Liveness, PdgOptions};
@@ -168,6 +169,7 @@ fn analyze(
     header: BlockId,
     alias: AliasMode,
 ) -> Result<(dswp_analysis::Pdg, DagScc, dswp_analysis::NaturalLoop), DswpError> {
+    check_program(program)?;
     let l = find_loops(program.function(func))
         .into_iter()
         .find(|l| l.header == header)
@@ -184,6 +186,15 @@ fn analyze(
     Ok((pdg, dag, l))
 }
 
+/// Structural-verification gate shared by the public loop-level entry
+/// points: the transformation indexes registers, blocks, queues and call
+/// targets without further checks, so malformed (e.g. hand-written and
+/// mis-edited) programs must be turned away with a typed error here rather
+/// than panicking mid-transformation.
+fn check_program(program: &Program) -> Result<(), DswpError> {
+    verify_program(program).map_err(|e| DswpError::InvalidProgram(e.to_string()))
+}
+
 /// Runs the full DSWP pipeline on the loop with `header` in `func`,
 /// transforming `program` in place.
 ///
@@ -195,7 +206,9 @@ fn analyze(
 /// * [`DswpError::NotProfitable`] — the heuristic declined (Figure 3
 ///   line 6);
 /// * [`DswpError::InvalidPartition`] / [`DswpError::TooManyThreads`] — a
-///   caller-specified partitioning is unusable.
+///   caller-specified partitioning is unusable;
+/// * [`DswpError::InvalidProgram`] — the input fails structural
+///   verification.
 pub fn dswp_loop(
     program: &mut Program,
     func: FuncId,
@@ -203,6 +216,7 @@ pub fn dswp_loop(
     profile: &Profile,
     opts: &DswpOptions,
 ) -> Result<DswpReport, DswpError> {
+    check_program(program)?;
     // Normalize + analyze.
     let l = find_loops(program.function(func))
         .into_iter()

@@ -28,7 +28,8 @@ use crate::error::DswpError;
 /// # Errors
 ///
 /// Returns [`DswpError::NoCandidateLoop`] if no natural loop with that
-/// header exists.
+/// header exists, or [`DswpError::InvalidProgram`] if the program fails
+/// structural verification.
 ///
 /// # Panics
 ///
@@ -40,6 +41,8 @@ pub fn unroll_loop(
     factor: usize,
 ) -> Result<BlockId, DswpError> {
     assert!(factor >= 2, "unroll factor must be at least 2");
+    dswp_ir::verify::verify_program(program)
+        .map_err(|e| DswpError::InvalidProgram(e.to_string()))?;
     let l = find_loops(program.function(func))
         .into_iter()
         .find(|l| l.header == header)

@@ -1,0 +1,59 @@
+//! Malformed programs must be rejected with [`DswpError::InvalidProgram`]
+//! at every public loop-level entry point — never an index panic inside the
+//! transformation.
+
+use dswp::{dswp_loop, loop_stats, unroll_loop, DswpError, DswpOptions};
+use dswp_analysis::AliasMode;
+use dswp_ir::interp::Profile;
+use dswp_ir::text::parse_program;
+use dswp_ir::BlockId;
+
+/// Parses fine, but `r7` is outside the declared register file (regs 2):
+/// without the verification gate, the interpreter/transformation would
+/// panic indexing the register vector.
+fn malformed() -> dswp_ir::Program {
+    parse_program(
+        "\
+program 1 threads 1 queues 0 memory 4
+thread 0 = fn0
+func main entry bb0 regs 2 {
+bb0 entry:
+  r0 = 0
+  jump bb1
+bb1 loop:
+  r7 = add r7, 1
+  r1 = (r7 >= 5)
+  br r1, bb2, bb1
+bb2 exit:
+  halt
+}
+",
+    )
+    .expect("text itself is well-formed")
+}
+
+#[test]
+fn dswp_loop_rejects_invalid_program() {
+    let mut p = malformed();
+    let profile = Profile::zeroed(&p);
+    let main = p.main();
+    let err = dswp_loop(&mut p, main, BlockId(1), &profile, &DswpOptions::default()).unwrap_err();
+    assert!(matches!(err, DswpError::InvalidProgram(_)), "{err}");
+    assert!(err.to_string().contains("invalid program"), "{err}");
+}
+
+#[test]
+fn loop_stats_rejects_invalid_program() {
+    let p = malformed();
+    let main = p.main();
+    let err = loop_stats(&p, main, BlockId(1), AliasMode::Region).unwrap_err();
+    assert!(matches!(err, DswpError::InvalidProgram(_)), "{err}");
+}
+
+#[test]
+fn unroll_rejects_invalid_program() {
+    let mut p = malformed();
+    let main = p.main();
+    let err = unroll_loop(&mut p, main, BlockId(1), 2).unwrap_err();
+    assert!(matches!(err, DswpError::InvalidProgram(_)), "{err}");
+}

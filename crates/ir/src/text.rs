@@ -231,8 +231,7 @@ impl<'a> Parser<'a> {
         for _ in 0..nfuncs {
             functions.push(self.parse_function()?);
         }
-        if self.peek().is_some() {
-            let (ln, l) = self.peek().unwrap();
+        if let Some((ln, l)) = self.peek() {
             return self.err(ln, format!("unexpected trailing content `{l}`"));
         }
 
@@ -564,8 +563,12 @@ impl<'a> Parser<'a> {
     }
 
     fn expect_line(&mut self, what: &str) -> Result<(usize, &'a str), ParseError> {
+        // On EOF, point at the last line of input rather than a
+        // nonsense sentinel: truncated files are a common hand-editing
+        // mistake and the report should say where the text stopped.
+        let last = self.lines.last().map_or(0, |&(n, _)| n);
         self.next_line().ok_or(ParseError {
-            line: usize::MAX,
+            line: last,
             message: format!("unexpected end of input, expected {what}"),
         })
     }
@@ -743,6 +746,20 @@ bb0 entry:
         let err = parse_program(text).unwrap_err();
         assert_eq!(err.line, 5);
         assert!(err.message.contains("frobnicate"), "{err}");
+    }
+
+    #[test]
+    fn truncated_input_reports_last_line() {
+        let text = "\
+program 1 threads 1 queues 0 memory 0
+thread 0 = fn0
+func main entry bb0 regs 1 {
+bb0 entry:
+  r0 = 1
+";
+        let err = parse_program(text).unwrap_err();
+        assert!(err.message.contains("end of input"), "{err}");
+        assert_eq!(err.line, 5, "points at the last line, not a sentinel");
     }
 
     #[test]

@@ -1,0 +1,432 @@
+//! Deterministic, seeded fault injection for the native runtime.
+//!
+//! The paper's central claim is that a decoupled pipeline *tolerates*
+//! variable latency: the synchronization array absorbs stalls, so one slow
+//! stage does not serialize the loop (Section 2). The happy-path
+//! differential suite cannot test that claim — every engine simply runs to
+//! completion. This module makes the adverse schedules reachable on
+//! purpose: a [`FaultPlan`] describes, per pipeline stage, artificial
+//! delays, transient (or permanent) queue-operation stalls, a forced panic
+//! at an exact retired-instruction count, and queue poisoning, plus an
+//! optional artificially tiny queue-capacity override.
+//!
+//! Two properties make plans usable in differential tests:
+//!
+//! * **Determinism of the plan** — [`FaultPlan::from_seed`] derives the
+//!   whole plan from one seed with an embedded SplitMix64 generator, so a
+//!   failing seed reproduces exactly (thread interleaving still varies, but
+//!   the injected faults do not).
+//! * **Semantic transparency of benign faults** — delays, bounded stalls
+//!   and capacity overrides change *timing only*. A run under a benign plan
+//!   ([`FaultPlan::is_benign`]) must produce results bit-identical to the
+//!   fault-free run; the chaos suite (`tests/chaos.rs` at the workspace
+//!   root) asserts exactly that. Lethal faults (panic, permanent stall,
+//!   poison) must instead surface as a structured [`RtError`] — never a
+//!   hang, never silently corrupted memory.
+//!
+//! [`RtError`]: crate::RtError
+
+use std::fmt;
+
+/// A bounded artificial delay: after every `every` retired instructions,
+/// the stage busy-spins for `spins` iterations. Models a slow stage (cache
+/// misses, long-latency ops) without changing any observable value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DelayFault {
+    /// Instruction cadence of the delay (>= 1).
+    pub every: u64,
+    /// Spin-loop iterations per delay.
+    pub spins: u32,
+}
+
+/// Stalls on queue operations: every `every`-th queue operation of the
+/// stage artificially fails its first `attempts` tries before the real
+/// operation is attempted. With `permanent`, the selected operation never
+/// succeeds — a zero-progress queue endpoint, which the runtime must
+/// diagnose (watchdog or deadline) instead of hanging on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StallFault {
+    /// Queue-operation cadence of the stall (>= 1).
+    pub every: u64,
+    /// Forced failures before the operation is allowed to proceed.
+    pub attempts: u32,
+    /// Never let the selected operation complete (lethal).
+    pub permanent: bool,
+}
+
+/// Poisons one queue once the stage retires `after_steps` instructions.
+/// Downstream consumers drain remaining values, then fail with
+/// [`RtError::QueuePoisoned`](crate::RtError::QueuePoisoned); producers fail
+/// immediately.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoisonFault {
+    /// Queue to poison.
+    pub queue: usize,
+    /// Retired-instruction count of the injecting stage at which the
+    /// poisoning happens.
+    pub after_steps: u64,
+}
+
+/// The faults injected into one pipeline stage.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StageFaults {
+    /// Periodic busy-spin delay.
+    pub delay: Option<DelayFault>,
+    /// Queue-operation stalls.
+    pub stall: Option<StallFault>,
+    /// Forced panic when the stage's retired-instruction count reaches this
+    /// value (lethal; recovered by the runtime via `catch_unwind`).
+    pub panic_at: Option<u64>,
+    /// Queue poisoning trigger (lethal for whoever touches the queue next).
+    pub poison: Option<PoisonFault>,
+}
+
+impl StageFaults {
+    /// Whether this stage injects no fault at all.
+    pub fn is_empty(&self) -> bool {
+        self.delay.is_none()
+            && self.stall.is_none()
+            && self.panic_at.is_none()
+            && self.poison.is_none()
+    }
+}
+
+/// A complete, deterministic fault-injection plan for one native run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed the plan was derived from (0 for hand-built plans).
+    pub seed: u64,
+    /// Per-stage faults, indexed by hardware context.
+    pub stages: Vec<StageFaults>,
+    /// Overrides [`RtConfig::queue_capacity`](crate::RtConfig) for every
+    /// queue (used to force artificially tiny queues).
+    pub queue_capacity: Option<usize>,
+}
+
+/// Panic payload used by injected stage panics, so the recovery layer (and
+/// the optional [`silence_injected_panics`] hook) can tell an injected
+/// crash from a genuine bug.
+#[derive(Clone, Copy, Debug)]
+pub struct InjectedPanic {
+    /// Stage that was forced to panic.
+    pub stage: usize,
+    /// Retired-instruction count at the panic point.
+    pub steps: u64,
+}
+
+impl fmt::Display for InjectedPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "injected fault: stage {} forced panic at {} retired instructions",
+            self.stage, self.steps
+        )
+    }
+}
+
+/// Minimal SplitMix64, embedded so the runtime crate stays dependency-free
+/// (the workspace's `dswp-testutil` RNG is a dev-dependency only).
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD1B5_4A32_D192_ED03)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound >= 1`.
+    fn below(&mut self, bound: u64) -> u64 {
+        ((self.next() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.below(hi - lo)
+    }
+
+    /// `true` with probability `num / den`.
+    fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults) for `num_stages` stages. Useful as a
+    /// baseline when measuring the injection layer's overhead, and as a
+    /// starting point for the `with_*` builders.
+    pub fn none(num_stages: usize) -> Self {
+        FaultPlan {
+            seed: 0,
+            stages: vec![StageFaults::default(); num_stages],
+            queue_capacity: None,
+        }
+    }
+
+    /// Derives a complete plan for a pipeline with `num_stages` stages and
+    /// `num_queues` queues from `seed`. The same arguments always produce
+    /// the same plan.
+    ///
+    /// The distribution is tuned for differential chaos testing: roughly
+    /// half the plans shrink every queue to a tiny capacity, most stages get
+    /// bounded delays and transient stalls, and about one plan in three
+    /// carries a single *lethal* fault (a forced panic, a permanent stall,
+    /// or a queue poisoning) whose outcome must be a structured error.
+    pub fn from_seed(seed: u64, num_stages: usize, num_queues: usize) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let queue_capacity = rng.chance(1, 2).then(|| rng.range(1, 9) as usize);
+
+        let mut stages = vec![StageFaults::default(); num_stages.max(1)];
+        for stage in &mut stages {
+            if rng.chance(1, 2) {
+                stage.delay = Some(DelayFault {
+                    every: rng.range(16, 257),
+                    spins: rng.range(64, 2049) as u32,
+                });
+            }
+            if rng.chance(1, 3) {
+                stage.stall = Some(StallFault {
+                    every: rng.range(1, 33),
+                    attempts: rng.range(1, 65) as u32,
+                    permanent: false,
+                });
+            }
+        }
+
+        // At most one lethal fault per plan, so the chaos harness can map
+        // each structured error back to its cause.
+        let victim = rng.below(stages.len() as u64) as usize;
+        match rng.below(16) {
+            0..=3 => stages[victim].panic_at = Some(rng.range(1, 20_001)),
+            4 => {
+                stages[victim].stall = Some(StallFault {
+                    every: rng.range(1, 9),
+                    attempts: 0,
+                    permanent: true,
+                });
+            }
+            5 | 6 if num_queues > 0 => {
+                stages[victim].poison = Some(PoisonFault {
+                    queue: rng.below(num_queues as u64) as usize,
+                    after_steps: rng.range(1, 10_001),
+                });
+            }
+            _ => {}
+        }
+
+        FaultPlan {
+            seed,
+            stages,
+            queue_capacity,
+        }
+    }
+
+    /// Sets the queue-capacity override.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = Some(capacity);
+        self
+    }
+
+    /// Adds a periodic delay to `stage`.
+    pub fn with_delay(mut self, stage: usize, delay: DelayFault) -> Self {
+        self.stages[stage].delay = Some(delay);
+        self
+    }
+
+    /// Adds a queue-operation stall to `stage`.
+    pub fn with_stall(mut self, stage: usize, stall: StallFault) -> Self {
+        self.stages[stage].stall = Some(stall);
+        self
+    }
+
+    /// Forces `stage` to panic at `steps` retired instructions.
+    pub fn with_panic(mut self, stage: usize, steps: u64) -> Self {
+        self.stages[stage].panic_at = Some(steps);
+        self
+    }
+
+    /// Makes `stage` poison a queue at a retired-instruction count.
+    pub fn with_poison(mut self, stage: usize, poison: PoisonFault) -> Self {
+        self.stages[stage].poison = Some(poison);
+        self
+    }
+
+    /// Whether any stage injects a forced panic.
+    pub fn injects_panic(&self) -> bool {
+        self.stages.iter().any(|s| s.panic_at.is_some())
+    }
+
+    /// Whether any stage injects a permanent (zero-progress) stall.
+    pub fn injects_permanent_stall(&self) -> bool {
+        self.stages
+            .iter()
+            .any(|s| s.stall.is_some_and(|st| st.permanent))
+    }
+
+    /// Whether any stage poisons a queue.
+    pub fn injects_poison(&self) -> bool {
+        self.stages.iter().any(|s| s.poison.is_some())
+    }
+
+    /// Whether the plan only perturbs timing (delays, bounded stalls, tiny
+    /// queues): a benign plan must not change any observable result.
+    pub fn is_benign(&self) -> bool {
+        !self.injects_panic() && !self.injects_permanent_stall() && !self.injects_poison()
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fault plan (seed {})", self.seed)?;
+        if let Some(cap) = self.queue_capacity {
+            write!(f, ", queue capacity {cap}")?;
+        }
+        for (i, s) in self.stages.iter().enumerate() {
+            if s.is_empty() {
+                continue;
+            }
+            write!(f, "; stage {i}:")?;
+            if let Some(d) = s.delay {
+                write!(f, " delay({} spins / {} instrs)", d.spins, d.every)?;
+            }
+            if let Some(st) = s.stall {
+                if st.permanent {
+                    write!(f, " permanent-stall(every {})", st.every)?;
+                } else {
+                    write!(f, " stall({} tries / {} ops)", st.attempts, st.every)?;
+                }
+            }
+            if let Some(p) = s.panic_at {
+                write!(f, " panic@{p}")?;
+            }
+            if let Some(p) = s.poison {
+                write!(f, " poison(q{} @{})", p.queue, p.after_steps)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Installs (once, process-wide) a panic hook that suppresses the default
+/// "thread panicked" stderr report for panics whose payload is an
+/// [`InjectedPanic`]; all other panics are reported by the previously
+/// installed hook. The runtime converts injected panics into structured
+/// [`RtError::StagePanic`](crate::RtError::StagePanic) values, so the
+/// stderr noise carries no information — and a chaos suite running hundreds
+/// of plans would otherwise flood its output.
+pub fn silence_injected_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<InjectedPanic>().is_none() {
+                previous(info);
+            }
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic_per_seed() {
+        for seed in 0..64 {
+            let a = FaultPlan::from_seed(seed, 3, 4);
+            let b = FaultPlan::from_seed(seed, 3, 4);
+            assert_eq!(a, b, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn seeds_cover_benign_and_lethal_plans() {
+        let plans: Vec<FaultPlan> = (0..256).map(|s| FaultPlan::from_seed(s, 2, 3)).collect();
+        assert!(plans.iter().any(|p| p.is_benign()));
+        assert!(plans.iter().any(|p| p.injects_panic()));
+        assert!(plans.iter().any(|p| p.injects_permanent_stall()));
+        assert!(plans.iter().any(|p| p.injects_poison()));
+        assert!(plans.iter().any(|p| p.queue_capacity.is_some()));
+        // Lethal faults stay rare enough for timing-sensitive suites.
+        let lethal = plans.iter().filter(|p| !p.is_benign()).count();
+        assert!((32..128).contains(&lethal), "lethal plans: {lethal}");
+    }
+
+    #[test]
+    fn generated_faults_respect_bounds() {
+        for seed in 0..512 {
+            let p = FaultPlan::from_seed(seed, 4, 2);
+            assert_eq!(p.stages.len(), 4);
+            if let Some(cap) = p.queue_capacity {
+                assert!((1..=8).contains(&cap), "seed {seed}: capacity {cap}");
+            }
+            for s in &p.stages {
+                if let Some(d) = s.delay {
+                    assert!(d.every >= 16 && d.spins <= 2048, "seed {seed}");
+                }
+                if let Some(st) = s.stall {
+                    assert!(st.every >= 1 && st.attempts <= 64, "seed {seed}");
+                }
+            }
+            // At most one lethal fault overall.
+            let lethal: usize = p
+                .stages
+                .iter()
+                .map(|s| {
+                    usize::from(s.panic_at.is_some())
+                        + usize::from(s.poison.is_some())
+                        + usize::from(s.stall.is_some_and(|st| st.permanent))
+                })
+                .sum();
+            assert!(lethal <= 1, "seed {seed}: {lethal} lethal faults");
+        }
+    }
+
+    #[test]
+    fn no_queues_means_no_poison_faults() {
+        for seed in 0..512 {
+            let p = FaultPlan::from_seed(seed, 2, 0);
+            assert!(!p.injects_poison(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn builders_and_summary() {
+        let plan = FaultPlan::none(2)
+            .with_queue_capacity(1)
+            .with_delay(
+                0,
+                DelayFault {
+                    every: 32,
+                    spins: 128,
+                },
+            )
+            .with_stall(
+                1,
+                StallFault {
+                    every: 4,
+                    attempts: 8,
+                    permanent: false,
+                },
+            )
+            .with_panic(1, 99)
+            .with_poison(
+                0,
+                PoisonFault {
+                    queue: 0,
+                    after_steps: 5,
+                },
+            );
+        assert!(!plan.is_benign());
+        assert!(plan.injects_panic() && plan.injects_poison());
+        let s = plan.to_string();
+        assert!(s.contains("panic@99") && s.contains("poison(q0 @5)"), "{s}");
+        assert!(FaultPlan::none(2).is_benign());
+    }
+}

@@ -37,6 +37,24 @@
 //!    configured duration — a backstop for livelock the first two guards
 //!    cannot see.
 //!
+//! # Crash safety
+//!
+//! Each stage thread runs under `catch_unwind`. When a stage panics, the
+//! recovery layer records [`RtError::StagePanic`] (first error wins),
+//! poisons every queue so blocked peers wake and shut down, and sets the
+//! abort flag — the run returns a structured error instead of propagating
+//! the panic or deadlocking the surviving stages. Two cooperative controls
+//! complete the picture: a per-run wall-clock deadline
+//! ([`RtConfig::deadline`] → [`RtError::Timeout`] with a diagnosis of
+//! *which* stage was stuck and how far it got) and an external
+//! [`CancelToken`] ([`RtError::Cancelled`]).
+//!
+//! The [`fault`] module provides deterministic seeded fault injection
+//! ([`FaultPlan`]) for exercising all of this; the chaos differential
+//! suite at the workspace root asserts that under hundreds of seeded fault
+//! plans every run either matches the interpreter bit-for-bit or returns a
+//! structured error — never a hang, never corrupt memory.
+//!
 //! # Example
 //!
 //! ```
@@ -100,13 +118,16 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod fault;
 pub mod queue;
 
 pub(crate) mod monitor;
 pub(crate) mod worker;
 
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dswp_ir::Program;
@@ -114,6 +135,7 @@ use dswp_ir::Program;
 use monitor::{Monitor, Verdict};
 use worker::{run_worker, Shared, WorkerEnd, WorkerReport};
 
+pub use fault::{silence_injected_panics, FaultPlan, InjectedPanic};
 pub use queue::QueueStats;
 
 /// Errors raised by the native runtime.
@@ -148,6 +170,33 @@ pub enum RtError {
         /// How long the run was stalled before the watchdog fired.
         stalled_for: Duration,
     },
+    /// A stage thread panicked; the recovery layer caught the unwind,
+    /// poisoned the queues and shut the pipeline down.
+    StagePanic {
+        /// Hardware context of the crashed stage.
+        stage: usize,
+        /// The panic payload rendered as text.
+        message: String,
+    },
+    /// A queue operation found its queue poisoned: the peer endpoint died
+    /// (or a fault plan poisoned the queue) and the operation can never
+    /// complete — producers stop immediately, consumers stop once drained.
+    QueuePoisoned {
+        /// The poisoned queue.
+        queue: usize,
+        /// The stage whose operation observed the poison.
+        stage: usize,
+    },
+    /// The per-run wall-clock deadline ([`RtConfig::deadline`]) elapsed.
+    Timeout {
+        /// The stage diagnosed as stuck: the first blocked stage if any,
+        /// otherwise the stage that retired the fewest instructions.
+        stage: usize,
+        /// Instructions that stage had retired when the deadline fired.
+        last_progress: u64,
+    },
+    /// The run was cancelled through its [`CancelToken`].
+    Cancelled,
 }
 
 impl fmt::Display for RtError {
@@ -175,11 +224,55 @@ impl fmt::Display for RtError {
             RtError::Watchdog { stalled_for } => {
                 write!(f, "watchdog: no progress for {stalled_for:?}")
             }
+            RtError::StagePanic { stage, message } => {
+                write!(f, "stage {stage} panicked: {message}")
+            }
+            RtError::QueuePoisoned { queue, stage } => {
+                write!(
+                    f,
+                    "queue {queue} poisoned: stage {stage} cannot complete its operation"
+                )
+            }
+            RtError::Timeout {
+                stage,
+                last_progress,
+            } => {
+                write!(
+                    f,
+                    "deadline exceeded: stage {stage} stuck after {last_progress} instructions"
+                )
+            }
+            RtError::Cancelled => write!(f, "run cancelled"),
         }
     }
 }
 
 impl std::error::Error for RtError {}
+
+/// Cooperative cancellation handle for a native run.
+///
+/// Clone the token, hand one clone to [`RtConfig::cancel`], keep the other,
+/// and call [`cancel`](Self::cancel) from any thread; the run aborts with
+/// [`RtError::Cancelled`] within one watchdog poll interval (~10 ms).
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// Creates a fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; safe from any thread.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation was requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
 
 /// Runtime configuration.
 #[derive(Clone, Debug)]
@@ -194,6 +287,15 @@ pub struct RtConfig {
     /// Record every produced value per queue (for differential testing;
     /// adds a mutex acquisition per produce).
     pub record_streams: bool,
+    /// Hard wall-clock deadline for the whole run; exceeded runs fail with
+    /// [`RtError::Timeout`] naming the stuck stage. `None` = no deadline.
+    pub deadline: Option<Duration>,
+    /// External cancellation token; when it fires, the run aborts with
+    /// [`RtError::Cancelled`].
+    pub cancel: Option<CancelToken>,
+    /// Deterministic fault-injection plan (chaos testing). `None` = no
+    /// faults, zero overhead on the worker hot path beyond a branch.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for RtConfig {
@@ -203,6 +305,9 @@ impl Default for RtConfig {
             step_limit: 500_000_000,
             watchdog: Duration::from_secs(2),
             record_streams: false,
+            deadline: None,
+            cancel: None,
+            faults: None,
         }
     }
 }
@@ -231,6 +336,24 @@ impl RtConfig {
         self.record_streams = on;
         self
     }
+
+    /// Sets the per-run wall-clock deadline.
+    pub fn deadline(mut self, limit: Duration) -> Self {
+        self.deadline = Some(limit);
+        self
+    }
+
+    /// Attaches a cooperative cancellation token.
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Attaches a deterministic fault-injection plan.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
 }
 
 /// Wall-clock and scheduling statistics of one pipeline stage.
@@ -246,6 +369,14 @@ pub struct StageStats {
     /// Whether the stage was parked (still blocked when the main thread
     /// terminated) rather than reaching its own halt.
     pub parked: bool,
+    /// Failed queue-operation attempts that entered the spin→yield→park
+    /// backoff loop (retry accounting).
+    pub retries: u64,
+    /// Times the stage exhausted its spin/yield budget and parked on the
+    /// monitor condvar.
+    pub parks: u64,
+    /// Whether the stage thread panicked (caught by crash recovery).
+    pub panicked: bool,
 }
 
 /// The observable result of a completed native run.
@@ -305,6 +436,14 @@ impl<'p> Runtime<'p> {
     pub fn run(&self) -> Result<RtResult, RtError> {
         let program = self.program;
         let num_threads = program.thread_entries().len();
+        // A fault plan may override the configured queue capacity (the
+        // "artificially tiny queues" fault class).
+        let queue_capacity = self
+            .config
+            .faults
+            .as_ref()
+            .and_then(|f| f.queue_capacity)
+            .unwrap_or(self.config.queue_capacity);
         let shared = Shared {
             program,
             memory: program
@@ -313,53 +452,118 @@ impl<'p> Runtime<'p> {
                 .map(|&v| AtomicI64::new(v))
                 .collect(),
             queues: (0..program.num_queues as usize)
-                .map(|_| {
-                    queue::SpscQueue::new(self.config.queue_capacity, self.config.record_streams)
-                })
+                .map(|_| queue::SpscQueue::new(queue_capacity, self.config.record_streams))
                 .collect(),
             monitor: Monitor::new(num_threads),
             steps_claimed: AtomicU64::new(0),
             step_limit: self.config.step_limit,
             abort: AtomicBool::new(false),
             progress: AtomicU64::new(0),
+            stage_steps: (0..num_threads).map(|_| AtomicU64::new(0)).collect(),
+            faults: self.config.faults.as_ref(),
         };
 
         let started = Instant::now();
         // The watchdog thread sleeps on a condvar and wakes periodically to
-        // compare the progress heartbeat; it adds no latency to the run
-        // itself (workers are joined directly). True deadlock is detected
-        // much faster by the monitor.
+        // compare the progress heartbeat and check the deadline and cancel
+        // token; it adds no latency to the run itself (workers are joined
+        // directly). True deadlock is detected much faster by the monitor.
         let done = (std::sync::Mutex::new(false), std::sync::Condvar::new());
         let reports: Vec<WorkerReport> = std::thread::scope(|s| {
             let shared = &shared;
             let handles: Vec<_> = (0..num_threads)
-                .map(|t| s.spawn(move || run_worker(shared, t)))
+                .map(|t| {
+                    s.spawn(move || {
+                        // Crash recovery: catch the unwind, record the
+                        // failure FIRST (first error wins — the panic is
+                        // the primary cause, the poisoned queues are its
+                        // effect), then poison every queue so blocked
+                        // peers wake up and shut down, then raise the
+                        // abort flag for the running ones.
+                        catch_unwind(AssertUnwindSafe(|| run_worker(shared, t))).unwrap_or_else(
+                            |payload| {
+                                shared.monitor.fail(RtError::StagePanic {
+                                    stage: t,
+                                    message: panic_message(&*payload),
+                                });
+                                for q in &shared.queues {
+                                    q.poison();
+                                }
+                                shared.abort.store(true, Ordering::Relaxed);
+                                shared.monitor.notify_activity();
+                                WorkerReport {
+                                    end: WorkerEnd::Panicked,
+                                    steps: shared.stage_steps[t].load(Ordering::Relaxed),
+                                    entry_regs: Vec::new(),
+                                    wall: Duration::ZERO,
+                                    blocked: Duration::ZERO,
+                                    retries: 0,
+                                    parks: 0,
+                                }
+                            },
+                        )
+                    })
+                })
                 .collect();
 
             let done = &done;
             let watchdog_limit = self.config.watchdog;
+            let deadline = self.config.deadline;
+            let cancel = self.config.cancel.clone();
             let watchdog = s.spawn(move || {
                 let (lock, cvar) = done;
-                let mut finished = lock.lock().unwrap();
+                let mut finished = lock
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
                 let mut last_progress = shared.progress.load(Ordering::Relaxed);
                 let mut last_change = Instant::now();
                 let mut fired = false;
+                let fail = |err: RtError| {
+                    shared.abort.store(true, Ordering::Relaxed);
+                    shared.monitor.fail(err);
+                    // Poison all queues so permanently-blocked workers
+                    // (e.g. under an injected permanent stall) re-check
+                    // their operation, observe the verdict, and exit.
+                    for q in &shared.queues {
+                        q.poison();
+                    }
+                };
                 while !*finished {
                     let (guard, _) = cvar
                         .wait_timeout(finished, Duration::from_millis(10))
-                        .unwrap();
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
                     finished = guard;
                     if *finished {
                         break;
+                    }
+                    if fired {
+                        continue;
+                    }
+                    if cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                        fired = true;
+                        fail(RtError::Cancelled);
+                        continue;
+                    }
+                    if deadline.is_some_and(|d| started.elapsed() >= d) {
+                        fired = true;
+                        let stage = shared
+                            .monitor
+                            .first_blocked()
+                            .map(|(t, _)| t)
+                            .unwrap_or_else(|| min_steps_stage(&shared.stage_steps));
+                        fail(RtError::Timeout {
+                            stage,
+                            last_progress: shared.stage_steps[stage].load(Ordering::Relaxed),
+                        });
+                        continue;
                     }
                     let p = shared.progress.load(Ordering::Relaxed);
                     if p != last_progress {
                         last_progress = p;
                         last_change = Instant::now();
-                    } else if !fired && last_change.elapsed() >= watchdog_limit {
+                    } else if last_change.elapsed() >= watchdog_limit {
                         fired = true;
-                        shared.abort.store(true, Ordering::Relaxed);
-                        shared.monitor.fail(RtError::Watchdog {
+                        fail(RtError::Watchdog {
                             stalled_for: watchdog_limit,
                         });
                     }
@@ -368,12 +572,19 @@ impl<'p> Runtime<'p> {
 
             let reports = handles
                 .into_iter()
-                .map(|h| h.join().expect("stage thread panicked"))
+                .map(|h| {
+                    h.join()
+                        .expect("catch_unwind in the stage closure never unwinds")
+                })
                 .collect();
             let (lock, cvar) = &done;
-            *lock.lock().unwrap() = true;
+            *lock
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner) = true;
             cvar.notify_all();
-            watchdog.join().expect("watchdog thread panicked");
+            watchdog
+                .join()
+                .expect("watchdog thread has no panicking path");
             reports
         });
         let elapsed = started.elapsed();
@@ -400,6 +611,9 @@ impl<'p> Runtime<'p> {
                     wall: r.wall,
                     blocked: r.blocked,
                     parked: r.end == WorkerEnd::Parked,
+                    retries: r.retries,
+                    parks: r.parks,
+                    panicked: r.end == WorkerEnd::Panicked,
                 })
                 .collect(),
             queues: shared.queues.iter().map(|q| q.stats()).collect(),
@@ -407,6 +621,30 @@ impl<'p> Runtime<'p> {
             elapsed,
         })
     }
+}
+
+/// Renders a caught panic payload as text for [`RtError::StagePanic`].
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(p) = payload.downcast_ref::<InjectedPanic>() {
+        p.to_string()
+    } else if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The stage that retired the fewest instructions — the [`RtError::Timeout`]
+/// diagnosis when no stage is parked on the monitor (e.g. all are spinning).
+fn min_steps_stage(stage_steps: &[AtomicU64]) -> usize {
+    stage_steps
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, s)| s.load(Ordering::Relaxed))
+        .map(|(t, _)| t)
+        .unwrap_or(0)
 }
 
 /// Convenience wrapper: runs `program` with `config` and returns the

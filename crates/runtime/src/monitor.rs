@@ -20,7 +20,7 @@
 //! milliseconds, never liveness.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
 use crate::queue::SpscQueue;
@@ -82,11 +82,19 @@ pub(crate) struct Monitor {
     blocked_hint: AtomicUsize,
 }
 
-/// Whether a blocked operation could complete right now.
+/// Whether a blocked operation could complete right now. A poisoned queue
+/// counts as satisfiable so its waiters wake up, re-attempt, and observe
+/// the poison in the worker's blocking loop (which converts it into a
+/// structured error) — instead of sleeping on a dead endpoint or tripping
+/// a spurious deadlock verdict.
 fn satisfiable(info: BlockInfo, queues: &[SpscQueue]) -> bool {
+    let q = &queues[info.queue];
+    if q.is_poisoned() {
+        return true;
+    }
     match info.kind {
-        BlockKind::Consume => !queues[info.queue].is_empty(),
-        BlockKind::Produce => !queues[info.queue].is_full(),
+        BlockKind::Consume => !q.is_empty(),
+        BlockKind::Produce => !q.is_full(),
     }
 }
 
@@ -101,6 +109,14 @@ impl Monitor {
             cond: Condvar::new(),
             blocked_hint: AtomicUsize::new(0),
         }
+    }
+
+    /// Locks the shared state, tolerating mutex poisoning: a stage thread
+    /// that panicked (crash recovery catches it) must not cascade into
+    /// panics on every surviving thread. The state itself stays consistent
+    /// — every mutation under the lock is a single field store.
+    fn lock(&self) -> MutexGuard<'_, MonState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Quiescence check, called with the state lock held: if every live
@@ -137,7 +153,7 @@ impl Monitor {
     /// whichever thread blocks last detects deadlock within one poll
     /// interval.
     pub fn wait(&self, thread: usize, info: BlockInfo, queues: &[SpscQueue]) -> WaitOutcome {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.lock();
         st.blocked[thread] = Some(info);
         self.blocked_hint.fetch_add(1, Ordering::Relaxed);
         let outcome = loop {
@@ -161,7 +177,7 @@ impl Monitor {
             let (guard, _timed_out) = self
                 .cond
                 .wait_timeout(st, Duration::from_millis(20))
-                .unwrap();
+                .unwrap_or_else(PoisonError::into_inner);
             st = guard;
         };
         st.blocked[thread] = None;
@@ -172,7 +188,7 @@ impl Monitor {
     /// Records that `thread` terminated (halt / terminate sentinel) and
     /// re-checks quiescence: this termination may strand blocked peers.
     pub fn terminate(&self, thread: usize, queues: &[SpscQueue]) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.lock();
         st.terminated[thread] = true;
         if st.verdict.is_none() {
             if let Some(v) = Self::quiescent_verdict(&st, queues) {
@@ -184,7 +200,7 @@ impl Monitor {
 
     /// Issues a failure verdict (first error wins) and wakes every waiter.
     pub fn fail(&self, err: RtError) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.lock();
         if st.verdict.is_none() {
             st.verdict = Some(Verdict::Fail(err));
         }
@@ -195,14 +211,25 @@ impl Monitor {
     /// (one relaxed load) when nobody is blocked.
     pub fn notify_activity(&self) {
         if self.blocked_hint.load(Ordering::Relaxed) > 0 {
-            let _guard = self.state.lock().unwrap();
+            let _guard = self.lock();
             self.cond.notify_all();
         }
     }
 
     /// The final verdict, if any.
     pub fn verdict(&self) -> Option<Verdict> {
-        self.state.lock().unwrap().verdict.clone()
+        self.lock().verdict.clone()
+    }
+
+    /// The lowest-numbered thread currently blocked inside [`wait`](Self::wait)
+    /// and what it is blocked on — the deadline watchdog's diagnosis of
+    /// *where* a timed-out run is stuck.
+    pub fn first_blocked(&self) -> Option<(usize, BlockInfo)> {
+        self.lock()
+            .blocked
+            .iter()
+            .enumerate()
+            .find_map(|(t, b)| b.map(|info| (t, info)))
     }
 }
 

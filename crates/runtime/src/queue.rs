@@ -16,7 +16,7 @@
 //! statistics.
 
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Pads a hot atomic to its own cache line to avoid false sharing between
@@ -44,6 +44,10 @@ pub struct SpscQueue {
     /// Produced-value log (only filled when stream recording is on).
     stream: Mutex<Vec<i64>>,
     record_stream: bool,
+    /// Set when an endpoint stage died (crash recovery) or a fault plan
+    /// poisons the queue: producers must stop, consumers may drain what is
+    /// already buffered and must then stop.
+    poisoned: AtomicBool,
 }
 
 // SAFETY: the `UnsafeCell` slots are only written by the single producer
@@ -83,7 +87,21 @@ impl SpscQueue {
             consumer_blocks: AtomicU64::new(0),
             stream: Mutex::new(Vec::new()),
             record_stream,
+            poisoned: AtomicBool::new(false),
         }
+    }
+
+    /// Marks the queue as poisoned: one of its endpoint stages is dead (or
+    /// a fault plan says so). Blocked peers observe the flag through the
+    /// monitor and shut down with a structured error instead of waiting for
+    /// values that will never arrive (or never be consumed).
+    pub fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+    }
+
+    /// Whether [`poison`](Self::poison) was called.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
     }
 
     /// Attempts to enqueue `v`. Returns `false` when the queue is full.
@@ -106,7 +124,12 @@ impl SpscQueue {
             self.max_occupancy.store(occ + 1, Ordering::Relaxed);
         }
         if self.record_stream {
-            self.stream.lock().unwrap().push(v);
+            // Poison-tolerant: a stage that crashed mid-push must not take
+            // the survivors down with a second panic.
+            self.stream
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push(v);
         }
         true
     }
@@ -158,7 +181,12 @@ impl SpscQueue {
 
     /// Drains the recorded produced-value stream.
     pub fn take_stream(&self) -> Vec<i64> {
-        std::mem::take(&mut *self.stream.lock().unwrap())
+        std::mem::take(
+            &mut *self
+                .stream
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        )
     }
 }
 
@@ -222,6 +250,21 @@ mod tests {
         producer.join().unwrap();
         assert!(q.is_empty());
         assert!(q.stats().max_occupancy <= 8);
+    }
+
+    #[test]
+    fn poisoning_still_allows_draining() {
+        let q = SpscQueue::new(4, false);
+        assert!(q.try_produce(1));
+        assert!(q.try_produce(2));
+        assert!(!q.is_poisoned());
+        q.poison();
+        assert!(q.is_poisoned());
+        // Buffered values survive poisoning; the *blocking* layer decides
+        // that producers stop and consumers stop once drained.
+        assert_eq!(q.try_consume(), Some(1));
+        assert_eq!(q.try_consume(), Some(2));
+        assert_eq!(q.try_consume(), None);
     }
 
     #[test]

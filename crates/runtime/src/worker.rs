@@ -12,6 +12,14 @@
 //! cursor pairs, exactly the discipline the DSWP transformation enforces by
 //! routing every cross-stage memory dependence through a synchronization
 //! flow.
+//!
+//! When the runtime carries a [`FaultPlan`], each worker additionally
+//! drives a [`FaultSession`]: periodic busy-spin delays, artificial
+//! queue-operation stalls, queue poisoning, and forced panics at an exact
+//! retired-instruction count. Benign faults perturb timing only — the
+//! chaos differential suite asserts the observable results stay
+//! bit-identical; lethal faults are converted by the recovery layer in
+//! `lib.rs` into structured [`RtError`]s.
 
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -20,6 +28,7 @@ use dswp_ir::exec::{new_frame, read_operand, Frame};
 use dswp_ir::interp::{eval_binary, eval_cmp, eval_unary};
 use dswp_ir::{FuncId, Op, Program};
 
+use crate::fault::{FaultPlan, InjectedPanic, StageFaults};
 use crate::monitor::{BlockInfo, BlockKind, Monitor, WaitOutcome};
 use crate::queue::SpscQueue;
 use crate::RtError;
@@ -48,6 +57,12 @@ pub(crate) struct Shared<'p> {
     pub abort: AtomicBool,
     /// Heartbeat for the wall-clock watchdog in `Runtime::run`.
     pub progress: AtomicU64,
+    /// Per-stage retired-instruction counters, refreshed at batch
+    /// boundaries: the deadline watchdog's `last_progress` diagnosis, and
+    /// the best-effort step count of a crashed stage.
+    pub stage_steps: Vec<AtomicU64>,
+    /// Fault-injection plan, if any.
+    pub faults: Option<&'p FaultPlan>,
 }
 
 /// How a worker's loop ended.
@@ -59,6 +74,8 @@ pub(crate) enum WorkerEnd {
     Parked,
     /// Stopped by a failure verdict or the abort flag.
     Aborted,
+    /// The stage thread panicked and was caught by the recovery layer.
+    Panicked,
 }
 
 /// Per-stage outcome and statistics, returned through the scoped join.
@@ -74,12 +91,90 @@ pub(crate) struct WorkerReport {
     pub wall: Duration,
     /// Portion of `wall` spent blocked on queues (spin + park).
     pub blocked: Duration,
+    /// Failed queue-operation attempts that entered the spin→yield→park
+    /// backoff (each retry is one loop turn of a blocked operation).
+    pub retries: u64,
+    /// Times the stage gave up spinning and parked on the monitor.
+    pub parks: u64,
 }
 
 enum QueueOutcome {
     /// The operation completed; for consumes, carries the value.
     Done(i64),
+    /// The queue was poisoned: the peer endpoint is dead (or a fault plan
+    /// poisoned it) and the operation can never complete meaningfully.
+    Poisoned,
     Stop(WorkerEnd),
+}
+
+/// The per-worker fault-injection state: counters that decide when the
+/// stage's [`StageFaults`] fire.
+struct FaultSession {
+    faults: StageFaults,
+    /// Queue operations performed so far (drives stall cadence).
+    queue_ops: u64,
+    /// Whether the poison fault already fired.
+    poisoned: bool,
+}
+
+impl FaultSession {
+    fn new(plan: Option<&FaultPlan>, stage: usize) -> Self {
+        FaultSession {
+            faults: plan
+                .and_then(|p| p.stages.get(stage))
+                .copied()
+                .unwrap_or_default(),
+            queue_ops: 0,
+            poisoned: false,
+        }
+    }
+
+    /// Per-instruction hook, called after `steps` was incremented. Applies
+    /// the delay, poisons queues, and triggers the forced panic.
+    ///
+    /// # Panics
+    ///
+    /// Deliberately panics with an [`InjectedPanic`] payload when the plan
+    /// says this stage must crash at this retired-instruction count; the
+    /// recovery layer in `Runtime::run` catches it.
+    fn on_step(&mut self, stage: usize, steps: u64, queues: &[SpscQueue]) {
+        if let Some(d) = self.faults.delay {
+            if steps.is_multiple_of(d.every) {
+                for _ in 0..d.spins {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+        if !self.poisoned {
+            if let Some(p) = self.faults.poison {
+                if steps >= p.after_steps {
+                    self.poisoned = true;
+                    if let Some(q) = queues.get(p.queue) {
+                        q.poison();
+                    }
+                }
+            }
+        }
+        if self.faults.panic_at == Some(steps) {
+            std::panic::panic_any(InjectedPanic { stage, steps });
+        }
+    }
+
+    /// Queue-operation hook: how many attempts of the upcoming operation
+    /// must artificially fail (`u32::MAX` = the operation never completes).
+    fn stall_budget(&mut self) -> u32 {
+        self.queue_ops += 1;
+        match self.faults.stall {
+            Some(s) if self.queue_ops.is_multiple_of(s.every) => {
+                if s.permanent {
+                    u32::MAX
+                } else {
+                    s.attempts
+                }
+            }
+            _ => 0,
+        }
+    }
 }
 
 fn mem_load(shared: &Shared<'_>, addr: i64) -> Option<i64> {
@@ -102,22 +197,56 @@ fn mem_store(shared: &Shared<'_>, addr: i64, value: i64) -> bool {
     }
 }
 
+/// Tracks the retry/park accounting of one worker across its blocked
+/// queue operations.
+#[derive(Default)]
+struct Backoff {
+    retries: u64,
+    parks: u64,
+}
+
 /// Spin-then-park loop shared by produce and consume. `attempt` performs
 /// the non-blocking queue operation, returning the consumed value (or 0 for
-/// produces) on success.
+/// produces) on success. `forced_fails` attempts are failed artificially
+/// first (fault injection; `u32::MAX` stalls the operation forever — the
+/// watchdog or deadline then ends the run).
 fn blocking_op(
     shared: &Shared<'_>,
     thread: usize,
     info: BlockInfo,
     blocked_time: &mut Duration,
+    backoff: &mut Backoff,
+    mut forced_fails: u32,
     mut attempt: impl FnMut() -> Option<i64>,
 ) -> QueueOutcome {
+    let queue = &shared.queues[info.queue];
+    let mut attempt = move || {
+        if forced_fails > 0 {
+            if forced_fails != u32::MAX {
+                forced_fails -= 1;
+            }
+            return None;
+        }
+        attempt()
+    };
+    // A produce onto a poisoned queue can never be consumed; a consume may
+    // still drain buffered values, but once the queue is empty nothing will
+    // ever arrive.
+    let poisoned = |queue: &SpscQueue| {
+        queue.is_poisoned()
+            && match info.kind {
+                BlockKind::Produce => true,
+                BlockKind::Consume => queue.is_empty(),
+            }
+    };
     // Fast path: no contention, no timing overhead.
+    if poisoned(queue) {
+        return QueueOutcome::Poisoned;
+    }
     if let Some(v) = attempt() {
         shared.monitor.notify_activity();
         return QueueOutcome::Done(v);
     }
-    let queue = &shared.queues[info.queue];
     match info.kind {
         BlockKind::Produce => queue.producer_blocks.fetch_add(1, Ordering::Relaxed),
         BlockKind::Consume => queue.consumer_blocks.fetch_add(1, Ordering::Relaxed),
@@ -125,6 +254,9 @@ fn blocking_op(
     let began = Instant::now();
     let mut tries: u32 = 0;
     let outcome = loop {
+        if poisoned(queue) {
+            break QueueOutcome::Poisoned;
+        }
         if let Some(v) = attempt() {
             shared.monitor.notify_activity();
             break QueueOutcome::Done(v);
@@ -132,6 +264,7 @@ fn blocking_op(
         if shared.abort.load(Ordering::Relaxed) {
             break QueueOutcome::Stop(WorkerEnd::Aborted);
         }
+        backoff.retries += 1;
         tries += 1;
         if tries <= SPINS {
             std::hint::spin_loop();
@@ -139,6 +272,7 @@ fn blocking_op(
             std::thread::yield_now();
         } else {
             tries = 0;
+            backoff.parks += 1;
             match shared.monitor.wait(thread, info, &shared.queues) {
                 WaitOutcome::Ready => {}
                 WaitOutcome::Park => break QueueOutcome::Stop(WorkerEnd::Parked),
@@ -156,6 +290,8 @@ fn blocking_op(
 pub(crate) fn run_worker(shared: &Shared<'_>, thread: usize) -> WorkerReport {
     let started = Instant::now();
     let mut blocked_time = Duration::ZERO;
+    let mut backoff = Backoff::default();
+    let mut faults = FaultSession::new(shared.faults, thread);
     let program = shared.program;
     let entry = program.thread_entries()[thread];
     let mut stack: Vec<Frame> = vec![new_frame(program.function(entry), entry)];
@@ -166,6 +302,15 @@ pub(crate) fn run_worker(shared: &Shared<'_>, thread: usize) -> WorkerReport {
         shared.abort.store(true, Ordering::Relaxed);
         shared.monitor.fail(err);
         WorkerEnd::Aborted
+    };
+    // Converts a blocked-op outcome shared by all four queue instructions.
+    let queue_stop = |end: QueueOutcome, queue: usize| match end {
+        QueueOutcome::Poisoned => fail(RtError::QueuePoisoned {
+            queue,
+            stage: thread,
+        }),
+        QueueOutcome::Stop(e) => e,
+        QueueOutcome::Done(_) => unreachable!("Done handled by the caller"),
     };
 
     let end = 'run: loop {
@@ -178,12 +323,14 @@ pub(crate) fn run_worker(shared: &Shared<'_>, thread: usize) -> WorkerReport {
             }
             budget = STEP_BATCH.min(shared.step_limit - base);
             shared.progress.fetch_add(1, Ordering::Relaxed);
+            shared.stage_steps[thread].store(steps, Ordering::Relaxed);
             if shared.abort.load(Ordering::Relaxed) {
                 break 'run WorkerEnd::Aborted;
             }
         }
         budget -= 1;
         steps += 1;
+        faults.on_step(thread, steps, &shared.queues);
 
         let frame = stack.last_mut().expect("live context has a frame");
         let func = program.function(frame.func);
@@ -292,13 +439,20 @@ pub(crate) fn run_worker(shared: &Shared<'_>, thread: usize) -> WorkerReport {
                     queue: queue.index(),
                     kind: BlockKind::Produce,
                 };
-                match blocking_op(shared, thread, info, &mut blocked_time, || {
-                    q.try_produce(v).then_some(0)
-                }) {
+                let stall = faults.stall_budget();
+                match blocking_op(
+                    shared,
+                    thread,
+                    info,
+                    &mut blocked_time,
+                    &mut backoff,
+                    stall,
+                    || q.try_produce(v).then_some(0),
+                ) {
                     QueueOutcome::Done(_) => frame.index += 1,
-                    QueueOutcome::Stop(e) => {
+                    other => {
                         steps -= 1; // the op never completed
-                        break 'run e;
+                        break 'run queue_stop(other, queue.index());
                     }
                 }
             }
@@ -308,14 +462,23 @@ pub(crate) fn run_worker(shared: &Shared<'_>, thread: usize) -> WorkerReport {
                     queue: queue.index(),
                     kind: BlockKind::Consume,
                 };
-                match blocking_op(shared, thread, info, &mut blocked_time, || q.try_consume()) {
+                let stall = faults.stall_budget();
+                match blocking_op(
+                    shared,
+                    thread,
+                    info,
+                    &mut blocked_time,
+                    &mut backoff,
+                    stall,
+                    || q.try_consume(),
+                ) {
                     QueueOutcome::Done(v) => {
                         frame.regs[dst.index()] = v;
                         frame.index += 1;
                     }
-                    QueueOutcome::Stop(e) => {
+                    other => {
                         steps -= 1;
-                        break 'run e;
+                        break 'run queue_stop(other, queue.index());
                     }
                 }
             }
@@ -325,13 +488,20 @@ pub(crate) fn run_worker(shared: &Shared<'_>, thread: usize) -> WorkerReport {
                     queue: queue.index(),
                     kind: BlockKind::Produce,
                 };
-                match blocking_op(shared, thread, info, &mut blocked_time, || {
-                    q.try_produce(0).then_some(0)
-                }) {
+                let stall = faults.stall_budget();
+                match blocking_op(
+                    shared,
+                    thread,
+                    info,
+                    &mut blocked_time,
+                    &mut backoff,
+                    stall,
+                    || q.try_produce(0).then_some(0),
+                ) {
                     QueueOutcome::Done(_) => frame.index += 1,
-                    QueueOutcome::Stop(e) => {
+                    other => {
                         steps -= 1;
-                        break 'run e;
+                        break 'run queue_stop(other, queue.index());
                     }
                 }
             }
@@ -341,11 +511,20 @@ pub(crate) fn run_worker(shared: &Shared<'_>, thread: usize) -> WorkerReport {
                     queue: queue.index(),
                     kind: BlockKind::Consume,
                 };
-                match blocking_op(shared, thread, info, &mut blocked_time, || q.try_consume()) {
+                let stall = faults.stall_budget();
+                match blocking_op(
+                    shared,
+                    thread,
+                    info,
+                    &mut blocked_time,
+                    &mut backoff,
+                    stall,
+                    || q.try_consume(),
+                ) {
                     QueueOutcome::Done(_) => frame.index += 1,
-                    QueueOutcome::Stop(e) => {
+                    other => {
                         steps -= 1;
-                        break 'run e;
+                        break 'run queue_stop(other, queue.index());
                     }
                 }
             }
@@ -358,6 +537,7 @@ pub(crate) fn run_worker(shared: &Shared<'_>, thread: usize) -> WorkerReport {
     if end == WorkerEnd::Terminated {
         shared.monitor.terminate(thread, &shared.queues);
     }
+    shared.stage_steps[thread].store(steps, Ordering::Relaxed);
     shared.progress.fetch_add(1, Ordering::Relaxed);
 
     WorkerReport {
@@ -366,5 +546,7 @@ pub(crate) fn run_worker(shared: &Shared<'_>, thread: usize) -> WorkerReport {
         entry_regs: stack.first().map(|f| f.regs.clone()).unwrap_or_default(),
         wall: started.elapsed(),
         blocked: blocked_time,
+        retries: backoff.retries,
+        parks: backoff.parks,
     }
 }

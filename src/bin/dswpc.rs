@@ -21,6 +21,10 @@
 //!                          deterministic executor (default), `native` on
 //!                          real OS threads (one per pipeline stage)
 //!   --queue-cap N          native queue capacity in values     (default 32)
+//!   --chaos SEED           run `--run native` under the seeded fault plan
+//!                          (delays, stalls, forced panics, poisoning)
+//!   --deadline MS          hard wall-clock deadline for `--run native`;
+//!                          exceeded runs fail with a timeout diagnosis
 //! ```
 
 use std::process::ExitCode;
@@ -32,8 +36,9 @@ use dswp_repro::dswp::{
     DswpOptions,
 };
 use dswp_repro::ir::interp::Interpreter;
+use dswp_repro::ir::verify::verify_program;
 use dswp_repro::ir::{parse_program, to_text, BlockId};
-use dswp_repro::rt::{RtConfig, Runtime};
+use dswp_repro::rt::{silence_injected_panics, FaultPlan, RtConfig, Runtime};
 use dswp_repro::sim::{Executor, Machine, MachineConfig};
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -56,6 +61,8 @@ struct Args {
     comm: u64,
     run: Option<RunMode>,
     queue_cap: usize,
+    chaos: Option<u64>,
+    deadline: Option<std::time::Duration>,
 }
 
 fn usage() -> ! {
@@ -63,7 +70,8 @@ fn usage() -> ! {
         "usage: dswpc <file.ir> [--dswp] [--loop bbN] [--unroll K] \
          [--alias conservative|region|precise] [--threads N] [--stats] \
          [--dot FILE] [--emit FILE] [--sim [full|half]] [--comm N] \
-         [--run [functional|native]] [--queue-cap N]"
+         [--run [functional|native]] [--queue-cap N] [--chaos SEED] \
+         [--deadline MS]"
     );
     std::process::exit(2);
 }
@@ -83,6 +91,8 @@ fn parse_args() -> Args {
         comm: 1,
         run: None,
         queue_cap: 32,
+        chaos: None,
+        deadline: None,
     };
     let mut it = std::env::args().skip(1).peekable();
     while let Some(a) = it.next() {
@@ -108,6 +118,21 @@ fn parse_args() -> Args {
                     .and_then(|v| v.parse::<usize>().ok())
                     .filter(|&n| n >= 1)
                     .unwrap_or_else(|| usage());
+            }
+            "--chaos" => {
+                args.chaos = Some(
+                    it.next()
+                        .and_then(|v| v.parse::<u64>().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--deadline" => {
+                args.deadline = Some(std::time::Duration::from_millis(
+                    it.next()
+                        .and_then(|v| v.parse::<u64>().ok())
+                        .filter(|&ms| ms >= 1)
+                        .unwrap_or_else(|| usage()),
+                ));
             }
             "--loop" => {
                 let v = it.next().unwrap_or_else(|| usage());
@@ -186,6 +211,14 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Structural verification gate: a parseable but malformed program
+    // (out-of-range registers, branch targets, queues, call targets, missing
+    // terminators) must be rejected here instead of panicking deep inside an
+    // execution engine or the DSWP transformation.
+    if let Err(e) = verify_program(&program) {
+        eprintln!("dswpc: {}: invalid program: {e}", args.file);
+        return ExitCode::FAILURE;
+    }
     let main_fn = program.main();
 
     // Profile lazily: multi-threaded inputs (e.g. a previously emitted DSWP
@@ -315,7 +348,17 @@ fn main() -> ExitCode {
                 eprintln!("dswpc: warning: pipeline map: {e}");
             }
             eprint!("{}", map.summary(&program));
-            let cfg = RtConfig::default().queue_capacity(args.queue_cap);
+            let mut cfg = RtConfig::default().queue_capacity(args.queue_cap);
+            if let Some(deadline) = args.deadline {
+                cfg = cfg.deadline(deadline);
+            }
+            if let Some(seed) = args.chaos {
+                let plan =
+                    FaultPlan::from_seed(seed, program.num_threads(), program.num_queues as usize);
+                eprintln!("chaos: {plan}");
+                silence_injected_panics();
+                cfg = cfg.faults(plan);
+            }
             match Runtime::new(&program).with_config(cfg).run() {
                 Ok(r) => {
                     println!(

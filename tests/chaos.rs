@@ -1,0 +1,184 @@
+//! Chaos differential suite: every paper workload under hundreds of seeded
+//! fault plans.
+//!
+//! The invariant (ISSUE 2 acceptance criterion): under *any* generated
+//! fault plan, a native run either
+//!
+//! * completes and matches the interpreter/oracle results **exactly**
+//!   (memory, entry registers, queue streams, per-context step counts) —
+//!   mandatory for benign plans, and also required when a lethal fault
+//!   never fired (e.g. a forced panic scheduled past the stage's retired
+//!   instruction count); or
+//! * returns a **structured [`RtError`]** consistent with the injected
+//!   lethal fault — never a hang, never a panic escaping `run()`, never
+//!   divergent memory.
+//!
+//! Fault plans are derived deterministically from seeds
+//! ([`FaultPlan::from_seed`]), and the seeds themselves come from the
+//! zero-dep `dswp-testutil` RNG, so any failure reproduces exactly from
+//! the panic message.
+//!
+//! The suite is split into parallel chunks so the wall-clock cost of the
+//! permanent-stall plans (each costs one watchdog interval) is spread over
+//! the test harness's thread pool.
+
+use std::time::Duration;
+
+use dswp_repro::dswp::{dswp_loop, DswpOptions};
+use dswp_repro::ir::interp::Interpreter;
+use dswp_repro::ir::Program;
+use dswp_repro::rt::fault::FaultPlan;
+use dswp_repro::rt::{silence_injected_panics, RtConfig, RtError, Runtime};
+use dswp_repro::sim::{ExecResult, Executor};
+use dswp_repro::workloads::{paper_suite, Size, Workload};
+use dswp_testutil::Rng;
+
+/// Seeded fault plans per workload (the acceptance criterion demands at
+/// least 200).
+const PLANS_PER_WORKLOAD: usize = 200;
+
+/// Watchdog for chaos runs: long enough that benign timing faults (delays,
+/// bounded stalls) can never trip it, short enough that the handful of
+/// permanent-stall plans resolve quickly.
+const CHAOS_WATCHDOG: Duration = Duration::from_millis(250);
+
+/// Hard per-run deadline: the anti-hang backstop. Any run that somehow
+/// evades the watchdog still returns `RtError::Timeout` long before the CI
+/// job timeout.
+const CHAOS_DEADLINE: Duration = Duration::from_secs(30);
+
+fn transform(w: &Workload) -> (Program, ExecResult) {
+    let baseline = Interpreter::new(&w.program)
+        .run()
+        .unwrap_or_else(|e| panic!("{}: baseline failed: {e}", w.name));
+    let mut p = w.program.clone();
+    let main = p.main();
+    dswp_loop(
+        &mut p,
+        main,
+        w.header,
+        &baseline.profile,
+        &DswpOptions::default(),
+    )
+    .unwrap_or_else(|e| panic!("{}: DSWP failed: {e}", w.name));
+    let oracle = Executor::new(&p)
+        .run()
+        .unwrap_or_else(|e| panic!("{}: oracle failed: {e}", w.name));
+    assert_eq!(
+        oracle.memory, baseline.memory,
+        "{}: oracle diverges from interpreter",
+        w.name
+    );
+    (p, oracle)
+}
+
+/// Runs one workload under `PLANS_PER_WORKLOAD` seeded plans and checks the
+/// invariant for each.
+fn chaos_one(w: &Workload, salt: u64) {
+    silence_injected_panics();
+    let (program, oracle) = transform(w);
+    let num_stages = program.num_threads();
+    let num_queues = program.num_queues as usize;
+
+    let mut rng = Rng::new(salt ^ 0x0043_4841_4F53); // "CHAOS"
+    let (mut benign, mut lethal, mut completed, mut failed) = (0u32, 0u32, 0u32, 0u32);
+    for _ in 0..PLANS_PER_WORKLOAD {
+        let seed = rng.next_u64();
+        let plan = FaultPlan::from_seed(seed, num_stages, num_queues);
+        if plan.is_benign() {
+            benign += 1;
+        } else {
+            lethal += 1;
+        }
+        let config = RtConfig::default()
+            .record_streams(true)
+            .watchdog(CHAOS_WATCHDOG)
+            .deadline(CHAOS_DEADLINE)
+            .faults(plan.clone());
+
+        match Runtime::new(&program).with_config(config).run() {
+            Ok(r) => {
+                // Completion — with or without a (never-fired) lethal fault
+                // — must be indistinguishable from the clean run.
+                completed += 1;
+                assert_eq!(
+                    r.memory, oracle.memory,
+                    "{}: memory diverged under {plan}",
+                    w.name
+                );
+                assert_eq!(
+                    r.entry_regs, oracle.entry_regs,
+                    "{}: entry regs diverged under {plan}",
+                    w.name
+                );
+                assert_eq!(
+                    r.streams.as_ref().expect("streams recorded"),
+                    &oracle.streams,
+                    "{}: streams diverged under {plan}",
+                    w.name
+                );
+                let steps: Vec<u64> = r.stages.iter().map(|s| s.steps).collect();
+                assert_eq!(
+                    steps, oracle.steps,
+                    "{}: step counts diverged under {plan}",
+                    w.name
+                );
+            }
+            Err(e) => {
+                // Failure must be structured AND attributable to the one
+                // lethal fault the plan carries.
+                failed += 1;
+                let consistent = match &e {
+                    RtError::StagePanic { .. } => plan.injects_panic(),
+                    RtError::QueuePoisoned { .. } => plan.injects_poison(),
+                    RtError::Watchdog { .. } | RtError::Timeout { .. } => {
+                        plan.injects_permanent_stall()
+                    }
+                    _ => false,
+                };
+                assert!(consistent, "{}: error {e} not explained by {plan}", w.name);
+            }
+        }
+    }
+
+    // Distribution sanity: the generator must exercise both sides, and a
+    // benign plan can never fail (checked per-run above), so failures are
+    // bounded by lethal plans.
+    assert!(benign > 0 && lethal > 0, "{}: degenerate seeding", w.name);
+    assert!(completed > 0, "{}: no run completed", w.name);
+    assert!(
+        failed <= lethal,
+        "{}: {failed} failures from {lethal} lethal plans",
+        w.name
+    );
+}
+
+/// Splits the suite into `total` round-robin chunks so the harness runs
+/// them on parallel test threads.
+fn chaos_chunk(index: usize, total: usize) {
+    for (i, w) in paper_suite(Size::Test).iter().enumerate() {
+        if i % total == index {
+            chaos_one(w, i as u64);
+        }
+    }
+}
+
+#[test]
+fn chaos_differential_chunk_0() {
+    chaos_chunk(0, 4);
+}
+
+#[test]
+fn chaos_differential_chunk_1() {
+    chaos_chunk(1, 4);
+}
+
+#[test]
+fn chaos_differential_chunk_2() {
+    chaos_chunk(2, 4);
+}
+
+#[test]
+fn chaos_differential_chunk_3() {
+    chaos_chunk(3, 4);
+}

@@ -1,0 +1,121 @@
+//! Integration tests of the `dswpc` binary itself: malformed inputs must
+//! exit with a diagnostic (never a panic or a hang), and the `--chaos` /
+//! `--deadline` flags must behave as documented.
+
+use std::path::Path;
+use std::process::{Command, Output};
+
+fn dswpc(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_dswpc"))
+        .args(args)
+        .output()
+        .expect("failed to spawn dswpc")
+}
+
+fn fixture(name: &str) -> String {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+        .to_string_lossy()
+        .into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn truncated_file_is_rejected_with_parse_error() {
+    let out = dswpc(&[&fixture("malformed_truncated.ir")]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("end of input"), "stderr: {err}");
+    // The diagnosis points at a real line, not a sentinel.
+    assert!(err.contains("line 8"), "stderr: {err}");
+}
+
+#[test]
+fn out_of_range_register_is_rejected_by_verification() {
+    let out = dswpc(&[&fixture("malformed_badreg.ir")]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("invalid program"), "stderr: {err}");
+}
+
+#[test]
+fn out_of_range_queue_is_rejected_by_verification() {
+    let out = dswpc(&[&fixture("malformed_badqueue.ir"), "--run", "native"]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("invalid program"), "stderr: {err}");
+}
+
+#[test]
+fn valid_fixture_still_runs() {
+    let out = dswpc(&[&fixture("sum.ir"), "--run", "functional"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("[0]=31"), "stdout: {stdout}");
+}
+
+#[test]
+fn chaos_native_run_is_deterministic_per_seed_and_structured() {
+    // The pipeline fixture runs on the native runtime; under a seeded
+    // fault plan the outcome must be either a successful run with correct
+    // memory or a structured error — and identical across invocations of
+    // the same seed.
+    let args = [
+        fixture("pipeline.ir"),
+        "--run".into(),
+        "native".into(),
+        "--chaos".into(),
+        "7".into(),
+        "--deadline".into(),
+        "10000".into(),
+    ];
+    let argv: Vec<&str> = args.iter().map(String::as_str).collect();
+    let a = dswpc(&argv);
+    let b = dswpc(&argv);
+    let plan_line = |o: &Output| {
+        stderr(o)
+            .lines()
+            .find(|l| l.starts_with("chaos:"))
+            .map(String::from)
+    };
+    let plan = plan_line(&a).expect("chaos plan echoed to stderr");
+    assert_eq!(Some(&plan), plan_line(&b).as_ref(), "plan must be seeded");
+    if a.status.success() {
+        let stdout = String::from_utf8_lossy(&a.stdout);
+        assert!(stdout.contains("[0]=10"), "stdout: {stdout}");
+    } else {
+        let err = stderr(&a);
+        assert!(err.contains("native execution failed"), "stderr: {err}");
+    }
+}
+
+#[test]
+fn injected_stage_panic_surfaces_as_structured_error() {
+    // Scan seeds for a plan that forces a panic within the first few
+    // retired instructions — the pipeline fixture is tiny, so a panic
+    // scheduled later would never fire. The CLI must report it as a
+    // structured stage-panic error with a nonzero exit code.
+    let panic_seed = (0..1_000_000u64)
+        .find(|&s| {
+            dswp_repro::rt::FaultPlan::from_seed(s, 2, 2)
+                .stages
+                .iter()
+                .any(|st| st.panic_at.is_some_and(|n| n <= 5))
+        })
+        .expect("some seed injects an early panic");
+    let out = dswpc(&[
+        &fixture("pipeline.ir"),
+        "--run",
+        "native",
+        "--chaos",
+        &panic_seed.to_string(),
+    ]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("panicked"), "stderr: {err}");
+    assert!(err.contains("injected fault"), "stderr: {err}");
+}

@@ -4,6 +4,7 @@
 
 use dswp_repro::dswp::{dswp_loop, select_loop, DswpOptions};
 use dswp_repro::ir::interp::Interpreter;
+use dswp_repro::ir::verify::verify_program;
 use dswp_repro::ir::{parse_program, to_text};
 use dswp_repro::sim::{Executor, Machine, MachineConfig};
 
@@ -67,6 +68,16 @@ fn every_fixture_round_trips() {
     for path in fixtures {
         let name = path.file_name().unwrap().to_string_lossy().into_owned();
         let src = std::fs::read_to_string(&path).unwrap();
+        // `malformed_*.ir` are negative fixtures: they must be rejected by
+        // the parser or by structural verification, never accepted.
+        if name.starts_with("malformed") {
+            let rejected = match parse_program(&src) {
+                Err(_) => true,
+                Ok(p) => verify_program(&p).is_err(),
+            };
+            assert!(rejected, "{name}: malformed fixture was accepted");
+            continue;
+        }
         let p1 = parse_program(&src).unwrap_or_else(|e| panic!("{name}: parse failed: {e}"));
         let t1 = to_text(&p1);
         let p2 = parse_program(&t1).unwrap_or_else(|e| panic!("{name}: reparse failed: {e}"));
