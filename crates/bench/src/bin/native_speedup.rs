@@ -9,10 +9,13 @@
 //! parallelism effect (decoupling wins vs. per-value queue cost).
 //!
 //! ```text
-//! cargo run --release -p dswp-bench --bin native_speedup
+//! cargo run --release -p dswp-bench --bin native_speedup -- [--out FILE]
 //! DSWP_BENCH_SIZE=test ... for a quick smoke run
 //! DSWP_QUEUE_CAP=N    ... queue capacity (default 32)
 //! ```
+//!
+//! `--out FILE` additionally writes the per-workload speedups (and their
+//! geomean) as flat JSON, for CI artifact archiving.
 
 use std::time::Duration;
 
@@ -39,6 +42,17 @@ fn native_time(program: &Program, cfg: &RtConfig, expect: &[i64]) -> Duration {
 }
 
 fn main() {
+    let mut out_path: Option<String> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out_path = Some(it.next().expect("--out needs a path")),
+            other => {
+                eprintln!("native_speedup: unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
     let exp = Experiment::from_env();
     let cap = std::env::var("DSWP_QUEUE_CAP")
         .ok()
@@ -53,6 +67,7 @@ fn main() {
     );
 
     let mut speedups = Vec::new();
+    let mut pairs: Vec<(String, f64)> = Vec::new();
     for w in paper_suite(exp.size) {
         let (prof, _) = profile(&w);
         let Some((transformed, report)) = transform_auto(&w, &prof, exp.alias) else {
@@ -71,6 +86,7 @@ fn main() {
         let pipe = native_time(&transformed, &cfg, &oracle.memory);
         let speedup = seq.as_secs_f64() / pipe.as_secs_f64();
         speedups.push(speedup);
+        pairs.push((w.name.to_string(), speedup));
         println!(
             "{:<12} {:>7} {:>12.3} {:>12.3} {:>8.2}x",
             w.name,
@@ -81,6 +97,13 @@ fn main() {
         );
     }
     if !speedups.is_empty() {
-        println!("geomean speedup: {:.2}x", geomean(speedups));
+        let g = geomean(speedups);
+        println!("geomean speedup: {g:.2}x");
+        pairs.push(("geomean".to_string(), g));
+    }
+    if let Some(path) = out_path {
+        std::fs::write(&path, dswp_bench::json::emit(&pairs))
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("wrote {path}");
     }
 }

@@ -1,0 +1,198 @@
+//! Minimal flat-JSON support for benchmark artifacts.
+//!
+//! The bench binaries emit machine-readable results (`BENCH_*.json`) that
+//! CI archives and diffs against a committed baseline. The workspace is
+//! deliberately dependency-free, so instead of a JSON library this module
+//! implements exactly the subset the artifacts use: a single flat object
+//! mapping string keys to finite numbers.
+//!
+//! ```text
+//! {
+//!   "queue-stream/4": 1.37,
+//!   "queue-stream/16": 1.82
+//! }
+//! ```
+
+use std::fmt::Write as _;
+
+/// Renders `pairs` as a flat JSON object, one key per line, preserving
+/// order. Keys must not contain `"` or `\` (bench keys are
+/// `workload/batch` slugs); values must be finite.
+pub fn emit(pairs: &[(String, f64)]) -> String {
+    let mut out = String::from("{\n");
+    for (i, (k, v)) in pairs.iter().enumerate() {
+        assert!(
+            !k.contains('"') && !k.contains('\\'),
+            "unescapable key: {k:?}"
+        );
+        assert!(v.is_finite(), "non-finite value for {k:?}");
+        let comma = if i + 1 < pairs.len() { "," } else { "" };
+        let _ = writeln!(out, "  \"{k}\": {v:.6}{comma}");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Parses a flat JSON object of string keys and numeric values, in file
+/// order. Accepts exactly what [`emit`] produces plus insignificant
+/// whitespace; anything else (nesting, strings values, escapes, trailing
+/// garbage) is an error naming the offending position.
+pub fn parse(text: &str) -> Result<Vec<(String, f64)>, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.ws();
+    p.expect(b'{')?;
+    let mut pairs = Vec::new();
+    p.ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.ws();
+            let key = p.string()?;
+            p.ws();
+            p.expect(b':')?;
+            p.ws();
+            let val = p.number()?;
+            pairs.push((key, val));
+            p.ws();
+            match p.next() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}, found {:?}",
+                        p.pos,
+                        other.map(char::from)
+                    ))
+                }
+            }
+        }
+    }
+    p.ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(pairs)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        match self.next() {
+            Some(b) if b == want => Ok(()),
+            other => Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                char::from(want),
+                self.pos,
+                other.map(char::from)
+            )),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        loop {
+            match self.next() {
+                Some(b'"') => {
+                    let raw = &self.bytes[start..self.pos - 1];
+                    return String::from_utf8(raw.to_vec())
+                        .map_err(|_| format!("invalid UTF-8 in key at byte {start}"));
+                }
+                Some(b'\\') => return Err(format!("escape in key at byte {}", self.pos)),
+                Some(_) => {}
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, String> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.pos += 1;
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let v: f64 = raw
+            .parse()
+            .map_err(|_| format!("bad number {raw:?} at byte {start}"))?;
+        if !v.is_finite() {
+            return Err(format!("non-finite number {raw:?} at byte {start}"));
+        }
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_and_preserves_order() {
+        let pairs = vec![
+            ("b/16".to_string(), 1.5),
+            ("a/4".to_string(), 0.25),
+            ("z".to_string(), -3.0),
+        ];
+        let text = emit(&pairs);
+        let back = parse(&text).unwrap();
+        assert_eq!(back.len(), 3);
+        for ((k1, v1), (k2, v2)) in pairs.iter().zip(&back) {
+            assert_eq!(k1, k2);
+            assert!((v1 - v2).abs() < 1e-9, "{k1}: {v1} vs {v2}");
+        }
+    }
+
+    #[test]
+    fn empty_object_parses() {
+        assert_eq!(parse("{}\n").unwrap(), vec![]);
+        assert_eq!(parse(&emit(&[])).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn rejects_malformed_inputs() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\" 1}",
+            "{\"a\": }",
+            "{\"a\": 1,}",
+            "{\"a\": 1} extra",
+            "{\"a\": \"str\"}",
+            "{\"a\": nan}",
+        ] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn tolerates_whitespace_variations() {
+        let got = parse(" { \"x/1\" :\t2.5 ,\n\"y\":3 } ").unwrap();
+        assert_eq!(got, vec![("x/1".to_string(), 2.5), ("y".to_string(), 3.0)]);
+    }
+}

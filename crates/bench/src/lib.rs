@@ -21,4 +21,5 @@
 #![warn(missing_debug_implementations)]
 
 pub mod figures;
+pub mod json;
 pub mod runner;

@@ -100,6 +100,6 @@ pub use pipeline::{
     DswpReport, LoopAnalysis, LoopStats,
 };
 pub use schedule::{schedule_function, schedule_program, ScheduleStats};
-pub use stage_map::{PipelineMap, PipelineMapError, QueueEndpoints, StageInfo};
+pub use stage_map::{PipelineMap, PipelineMapError, QueueEndpoints, QueueKind, StageInfo};
 pub use transform::{apply_dswp, DswpArtifacts, FlowStats};
 pub use unroll::{unroll_counted, unroll_loop};

@@ -38,6 +38,39 @@ pub struct StageInfo {
     pub functions: Vec<FuncId>,
 }
 
+/// What a queue carries, inferred from the instructions that touch it.
+///
+/// The distinction drives the native runtime's batching hints
+/// ([`PipelineMap::batch_hints`]): data queues tolerate deep chunking
+/// (values are consumed in bulk anyway), while token queues exist to
+/// release a waiting peer — holding a chunk of tokens back only adds
+/// latency, so their batch is capped low.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum QueueKind {
+    /// No instruction touches the queue.
+    #[default]
+    Unused,
+    /// Only `produce`/`consume` (value-carrying) instructions.
+    Data,
+    /// Only `produce.token`/`consume.token` (synchronization-only)
+    /// instructions.
+    Token,
+    /// Both value-carrying and token instructions.
+    Mixed,
+}
+
+impl QueueKind {
+    fn merge(self, other: QueueKind) -> QueueKind {
+        use QueueKind::*;
+        match (self, other) {
+            (Unused, k) | (k, Unused) => k,
+            (Data, Data) => Data,
+            (Token, Token) => Token,
+            _ => Mixed,
+        }
+    }
+}
+
 /// The stages at the two ends of one queue.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct QueueEndpoints {
@@ -45,6 +78,8 @@ pub struct QueueEndpoints {
     pub producers: Vec<usize>,
     /// Stages containing a `consume`/`consume.token` on this queue.
     pub consumers: Vec<usize>,
+    /// What the queue carries (data values, tokens, or both).
+    pub kind: QueueKind,
 }
 
 impl QueueEndpoints {
@@ -204,11 +239,25 @@ impl PipelineMap {
                 let func = program.function(fid);
                 for (_, instr) in func.instr_ids() {
                     match *func.op(instr) {
-                        Op::Produce { queue, .. } | Op::ProduceToken { queue } => {
-                            push_unique(&mut queues[queue.index()].producers, stage);
+                        Op::Produce { queue, .. } => {
+                            let ep = &mut queues[queue.index()];
+                            push_unique(&mut ep.producers, stage);
+                            ep.kind = ep.kind.merge(QueueKind::Data);
                         }
-                        Op::Consume { queue, .. } | Op::ConsumeToken { queue } => {
-                            push_unique(&mut queues[queue.index()].consumers, stage);
+                        Op::ProduceToken { queue } => {
+                            let ep = &mut queues[queue.index()];
+                            push_unique(&mut ep.producers, stage);
+                            ep.kind = ep.kind.merge(QueueKind::Token);
+                        }
+                        Op::Consume { queue, .. } => {
+                            let ep = &mut queues[queue.index()];
+                            push_unique(&mut ep.consumers, stage);
+                            ep.kind = ep.kind.merge(QueueKind::Data);
+                        }
+                        Op::ConsumeToken { queue } => {
+                            let ep = &mut queues[queue.index()];
+                            push_unique(&mut ep.consumers, stage);
+                            ep.kind = ep.kind.merge(QueueKind::Token);
                         }
                         _ => {}
                     }
@@ -260,6 +309,26 @@ impl PipelineMap {
         self.validate().is_ok()
     }
 
+    /// Per-queue communication batch (chunk) sizes for a requested base
+    /// batch, one entry per queue id.
+    ///
+    /// Data and mixed queues get the full `batch`; token queues are capped
+    /// at 4 (a token's whole job is to release a waiting peer — sitting on
+    /// a deep chunk of them only defers that); unused queues get 1. The
+    /// result plugs straight into the native runtime's per-queue batch
+    /// override.
+    pub fn batch_hints(&self, batch: usize) -> Vec<usize> {
+        let batch = batch.max(1);
+        self.queues
+            .iter()
+            .map(|ep| match ep.kind {
+                QueueKind::Data | QueueKind::Mixed => batch,
+                QueueKind::Token => batch.clamp(1, 4),
+                QueueKind::Unused => 1,
+            })
+            .collect()
+    }
+
     /// Human-readable one-line-per-item summary (used by `dswpc`).
     pub fn summary(&self, program: &Program) -> String {
         use std::fmt::Write as _;
@@ -276,9 +345,15 @@ impl PipelineMap {
             if !ep.is_used() {
                 continue;
             }
+            let kind = match ep.kind {
+                QueueKind::Unused => "unused",
+                QueueKind::Data => "data",
+                QueueKind::Token => "token",
+                QueueKind::Mixed => "mixed",
+            };
             let _ = writeln!(
                 out,
-                "queue {q}: stage {} -> stage {}",
+                "queue {q}: stage {} -> stage {} ({kind})",
                 fmt_stages(&ep.producers),
                 fmt_stages(&ep.consumers)
             );
@@ -396,6 +471,49 @@ mod tests {
         assert_eq!(map.stages.len(), 1);
         assert!(map.queues.is_empty());
         assert!(map.is_spsc());
+    }
+
+    #[test]
+    fn classifies_queue_kinds_and_caps_token_batches() {
+        // Queue 0 carries data, queue 1 carries tokens, queue 2 sees both
+        // (data produce, token consume), queue 3 is declared but untouched.
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let e = f.entry_block();
+        let x = f.reg();
+        f.switch_to(e);
+        f.iconst(x, 1);
+        f.produce(QueueId(0), x);
+        f.produce_token(QueueId(1));
+        f.produce(QueueId(2), x);
+        f.halt();
+        let main = f.finish();
+        let mut g = pb.function("aux");
+        let e2 = g.entry_block();
+        let v = g.reg();
+        g.switch_to(e2);
+        g.consume(v, QueueId(0));
+        g.consume_token(QueueId(1));
+        g.consume_token(QueueId(2));
+        g.halt();
+        let aux = g.finish();
+        let mut p = pb.finish(main, 0);
+        p.num_queues = 4;
+        p.add_thread(aux);
+
+        let map = PipelineMap::infer(&p);
+        assert_eq!(map.queues[0].kind, QueueKind::Data);
+        assert_eq!(map.queues[1].kind, QueueKind::Token);
+        assert_eq!(map.queues[2].kind, QueueKind::Mixed);
+        assert_eq!(map.queues[3].kind, QueueKind::Unused);
+        assert_eq!(map.batch_hints(16), vec![16, 4, 16, 1]);
+        assert_eq!(map.batch_hints(2), vec![2, 2, 2, 1]);
+        assert_eq!(map.batch_hints(0), vec![1, 1, 1, 1]);
+
+        let summary = map.summary(&p);
+        assert!(summary.contains("(data)"), "{summary}");
+        assert!(summary.contains("(token)"), "{summary}");
+        assert!(summary.contains("(mixed)"), "{summary}");
     }
 
     #[test]

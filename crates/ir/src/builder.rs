@@ -271,6 +271,16 @@ impl FunctionBuilder<'_> {
         self.emit(Op::Consume { queue, dst })
     }
 
+    /// `produce.token [queue]`.
+    pub fn produce_token(&mut self, queue: QueueId) -> InstrId {
+        self.emit(Op::ProduceToken { queue })
+    }
+
+    /// `consume.token [queue]`.
+    pub fn consume_token(&mut self, queue: QueueId) -> InstrId {
+        self.emit(Op::ConsumeToken { queue })
+    }
+
     /// Nop.
     pub fn nop(&mut self) -> InstrId {
         self.emit(Op::Nop)

@@ -15,6 +15,14 @@
 //!   ring-buffer queues ([`queue::SpscQueue`]), with park/unpark
 //!   backpressure and a deadlock watchdog.
 //!
+//! The synchronization-array gap the paper glosses over — its hardware
+//! `produce`/`consume` cost ~a cycle, a software queue costs a cross-core
+//! cache-line transfer per cursor update — is attacked with **batched
+//! communication** ([`BatchPolicy`]): values are accumulated in per-queue
+//! local buffers and published/acquired a chunk at a time, with forced
+//! flushes on blocking waits, stage end, and a step cadence so batching
+//! never changes observable results or liveness, only timing.
+//!
 //! All three engines share value semantics through `dswp_ir::exec` and
 //! `dswp_ir::interp::{eval_unary, eval_binary, eval_cmp}`, so a
 //! DSWP-transformed program must produce **bit-identical observable
@@ -27,7 +35,7 @@
 //! A buggy partition (or a deliberately miswired queue) must fail, not
 //! hang. Three independent guards ensure the runtime always returns:
 //!
-//! 1. the [`monitor::Monitor`] detects true deadlock — every live thread
+//! 1. the internal monitor detects true deadlock — every live thread
 //!    blocked on an unsatisfiable queue operation — and returns
 //!    [`RtError::Deadlock`] naming the blocked threads;
 //! 2. a shared step budget ([`RtConfig::step_limit`]) stops runaway loops
@@ -136,7 +144,7 @@ use monitor::{Monitor, Verdict};
 use worker::{run_worker, Shared, WorkerEnd, WorkerReport};
 
 pub use fault::{silence_injected_panics, FaultPlan, InjectedPanic};
-pub use queue::QueueStats;
+pub use queue::{BatchHistogram, QueueStats};
 
 /// Errors raised by the native runtime.
 ///
@@ -274,12 +282,55 @@ impl CancelToken {
     }
 }
 
+/// How many values a stage accumulates per queue before publishing them
+/// with a single release store (and how many a consumer acquires at once).
+///
+/// The paper's hardware synchronization array makes `produce`/`consume`
+/// roughly one cycle each; a software SPSC queue pays a cross-core
+/// cache-line transfer per cursor update instead. Batching amortizes that
+/// cost over a chunk of values. Correctness is batch-size-independent —
+/// the worker force-flushes on blocking waits, stage end, and every
+/// `STEP_BATCH` retired instructions, and consumers never wait for a full
+/// chunk — so the policy only trades latency for synchronization
+/// throughput.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchPolicy {
+    /// Use this chunk size on every queue (1 = unbatched, the default).
+    Fixed(usize),
+    /// Derive the chunk size from the queue capacity:
+    /// `(capacity / 2).clamp(1, 16)` — half the queue so producer and
+    /// consumer can overlap, capped where the returns flatten out.
+    Auto,
+}
+
+impl BatchPolicy {
+    /// The chunk size this policy yields for a queue of `capacity` slots.
+    pub fn chunk(self, capacity: usize) -> usize {
+        match self {
+            BatchPolicy::Fixed(n) => n.max(1),
+            BatchPolicy::Auto => (capacity / 2).clamp(1, 16),
+        }
+    }
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy::Fixed(1)
+    }
+}
+
 /// Runtime configuration.
 #[derive(Clone, Debug)]
 pub struct RtConfig {
     /// Capacity of every synchronization-array queue, in values. The paper
     /// models a 32-entry-per-queue synchronization array (Section 2.1).
     pub queue_capacity: usize,
+    /// Communication batch (chunk) size policy applied to every queue.
+    pub batch: BatchPolicy,
+    /// Per-queue batch-size overrides (indexed by queue id; entries beyond
+    /// the vector fall back to [`RtConfig::batch`]). Lets the pipeline map
+    /// keep token queues at small chunks while data queues batch deeply.
+    pub queue_batches: Option<Vec<usize>>,
     /// Total instruction budget across all stage threads.
     pub step_limit: u64,
     /// Abort the run if no thread makes progress for this long.
@@ -302,6 +353,8 @@ impl Default for RtConfig {
     fn default() -> Self {
         RtConfig {
             queue_capacity: 32,
+            batch: BatchPolicy::default(),
+            queue_batches: None,
             step_limit: 500_000_000,
             watchdog: Duration::from_secs(2),
             record_streams: false,
@@ -316,6 +369,26 @@ impl RtConfig {
     /// Sets the per-queue capacity (must be at least 1).
     pub fn queue_capacity(mut self, capacity: usize) -> Self {
         self.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets a fixed communication batch size for every queue (1 =
+    /// unbatched).
+    pub fn batch(mut self, n: usize) -> Self {
+        self.batch = BatchPolicy::Fixed(n);
+        self
+    }
+
+    /// Derives the communication batch size from the queue capacity
+    /// ([`BatchPolicy::Auto`]).
+    pub fn batch_auto(mut self) -> Self {
+        self.batch = BatchPolicy::Auto;
+        self
+    }
+
+    /// Sets per-queue batch-size overrides (see [`RtConfig::queue_batches`]).
+    pub fn queue_batches(mut self, batches: Vec<usize>) -> Self {
+        self.queue_batches = Some(batches);
         self
     }
 
@@ -377,6 +450,12 @@ pub struct StageStats {
     pub parks: u64,
     /// Whether the stage thread panicked (caught by crash recovery).
     pub panicked: bool,
+    /// Sizes of the logical output batches this stage flushed (one entry
+    /// per blocking flush; size = values delivered by that flush).
+    pub flushes: BatchHistogram,
+    /// Sizes of the input batches this stage refilled (one entry per
+    /// blocking refill; size = values acquired by that refill).
+    pub refills: BatchHistogram,
 }
 
 /// The observable result of a completed native run.
@@ -444,6 +523,19 @@ impl<'p> Runtime<'p> {
             .as_ref()
             .and_then(|f| f.queue_capacity)
             .unwrap_or(self.config.queue_capacity);
+        // Per-queue effective batch sizes, computed after the capacity
+        // override so `BatchPolicy::Auto` tracks the real queue size.
+        let base_chunk = self.config.batch.chunk(queue_capacity);
+        let batches: Vec<usize> = (0..program.num_queues as usize)
+            .map(|qi| {
+                self.config
+                    .queue_batches
+                    .as_ref()
+                    .and_then(|v| v.get(qi).copied())
+                    .unwrap_or(base_chunk)
+                    .max(1)
+            })
+            .collect();
         let shared = Shared {
             program,
             memory: program
@@ -455,6 +547,7 @@ impl<'p> Runtime<'p> {
                 .map(|_| queue::SpscQueue::new(queue_capacity, self.config.record_streams))
                 .collect(),
             monitor: Monitor::new(num_threads),
+            batches,
             steps_claimed: AtomicU64::new(0),
             step_limit: self.config.step_limit,
             abort: AtomicBool::new(false),
@@ -499,6 +592,8 @@ impl<'p> Runtime<'p> {
                                     blocked: Duration::ZERO,
                                     retries: 0,
                                     parks: 0,
+                                    flushes: BatchHistogram::default(),
+                                    refills: BatchHistogram::default(),
                                 }
                             },
                         )
@@ -614,6 +709,8 @@ impl<'p> Runtime<'p> {
                     retries: r.retries,
                     parks: r.parks,
                     panicked: r.end == WorkerEnd::Panicked,
+                    flushes: r.flushes,
+                    refills: r.refills,
                 })
                 .collect(),
             queues: shared.queues.iter().map(|q| q.stats()).collect(),
@@ -735,6 +832,42 @@ mod tests {
             assert_eq!(r.memory[0], 124_750, "capacity {cap}");
             assert!(r.queues[0].max_occupancy <= cap);
         }
+    }
+
+    #[test]
+    fn batched_runs_match_unbatched_exactly() {
+        let p = ping_pong(2_000);
+        let clean = run_native(&p, RtConfig::default().record_streams(true)).unwrap();
+        let steps = |r: &RtResult| r.stages.iter().map(|s| s.steps).collect::<Vec<_>>();
+        for batch in [2, 4, 16, 64] {
+            let r = run_native(&p, RtConfig::default().record_streams(true).batch(batch))
+                .unwrap_or_else(|e| panic!("batch {batch}: {e}"));
+            assert_eq!(r.memory, clean.memory, "batch {batch}: memory");
+            assert_eq!(r.entry_regs, clean.entry_regs, "batch {batch}: regs");
+            assert_eq!(r.streams, clean.streams, "batch {batch}: streams");
+            assert_eq!(steps(&r), steps(&clean), "batch {batch}: steps");
+        }
+    }
+
+    #[test]
+    fn auto_batch_policy_completes_and_batches() {
+        let p = ping_pong(2_000);
+        let r = run_native(&p, RtConfig::default().batch_auto()).unwrap();
+        assert_eq!(r.memory[0], 1_999_000);
+        // Capacity 32 → chunk 16: the data queue must see real batches,
+        // both at the queue level and in the per-stage histograms.
+        assert!(r.queues[0].flush_sizes.mean() > 1.0);
+        assert!(r.stages[0].flushes.count > 0);
+        assert!(r.stages[1].refills.sum >= 2_001);
+    }
+
+    #[test]
+    fn per_queue_batch_overrides_apply() {
+        let p = ping_pong(2_000);
+        // Deep batching on the data queue, unbatched on the done queue.
+        let r = run_native(&p, RtConfig::default().batch(16).queue_batches(vec![16, 1])).unwrap();
+        assert_eq!(r.memory[0], 1_999_000);
+        assert_eq!(r.queues[1].flush_sizes.buckets[0], 1); // single-value flush
     }
 
     #[test]

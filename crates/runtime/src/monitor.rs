@@ -16,6 +16,15 @@
 //! blocked, the program is *deadlocked* and the run fails with
 //! [`RtError::Deadlock`].
 //!
+//! With batched communication a blocked thread may hold *pending flush
+//! buffers* for other queues. Those buffered values could unblock a peer,
+//! so a thread registers a [`WaitSet`]: its primary blocked operation plus
+//! every queue it still owes a flush to. The thread is woken (and
+//! quiescence is denied) whenever the primary op *or any pending flush*
+//! becomes performable — the blocking loop in the worker then side-flushes
+//! those buffers, which is what keeps buffering from manufacturing
+//! deadlocks that the unbatched runtime would not have.
+//!
 //! Waiters poll with a bounded `wait_timeout`, so a lost wakeup costs
 //! milliseconds, never liveness.
 
@@ -42,6 +51,29 @@ pub(crate) struct BlockInfo {
     pub kind: BlockKind,
 }
 
+/// Everything a blocked thread is waiting on: the operation it cannot
+/// complete, plus the queues it holds non-empty local output buffers for
+/// (a flush to any of them is progress too).
+#[derive(Clone, Debug)]
+pub(crate) struct WaitSet {
+    /// The operation the thread is actually blocked on.
+    pub primary: BlockInfo,
+    /// Queues with pending (non-empty) local output buffers.
+    pub flush: Vec<usize>,
+}
+
+impl WaitSet {
+    /// A wait on a single operation with no pending flushes — the
+    /// un-batched shape.
+    #[cfg(test)]
+    pub fn solo(queue: usize, kind: BlockKind) -> Self {
+        WaitSet {
+            primary: BlockInfo { queue, kind },
+            flush: Vec::new(),
+        }
+    }
+}
+
 /// Terminal decision about a quiescent (or failed) run.
 #[derive(Clone, Debug)]
 pub(crate) enum Verdict {
@@ -55,7 +87,8 @@ pub(crate) enum Verdict {
 /// What a blocked thread should do next.
 #[derive(Debug)]
 pub(crate) enum WaitOutcome {
-    /// The blocked operation became satisfiable — retry it.
+    /// The blocked operation (or a pending flush) became satisfiable —
+    /// retry it.
     Ready,
     /// Park verdict: stop this thread, the run completed without it.
     Park,
@@ -65,8 +98,8 @@ pub(crate) enum WaitOutcome {
 
 #[derive(Debug)]
 struct MonState {
-    /// `Some(info)` while thread `t` is blocked inside [`Monitor::wait`].
-    blocked: Vec<Option<BlockInfo>>,
+    /// `Some(set)` while thread `t` is blocked inside [`Monitor::wait`].
+    blocked: Vec<Option<WaitSet>>,
     /// Whether thread `t` has terminated (halt or terminate sentinel).
     terminated: Vec<bool>,
     verdict: Option<Verdict>,
@@ -98,6 +131,21 @@ fn satisfiable(info: BlockInfo, queues: &[SpscQueue]) -> bool {
     }
 }
 
+/// Whether anything in the wait set can make progress: the primary op, or a
+/// flush of a pending output buffer (a produce-shaped op on that queue).
+fn satisfiable_set(set: &WaitSet, queues: &[SpscQueue]) -> bool {
+    satisfiable(set.primary, queues)
+        || set.flush.iter().any(|&q| {
+            satisfiable(
+                BlockInfo {
+                    queue: q,
+                    kind: BlockKind::Produce,
+                },
+                queues,
+            )
+        })
+}
+
 impl Monitor {
     pub fn new(num_threads: usize) -> Self {
         Monitor {
@@ -120,8 +168,9 @@ impl Monitor {
     }
 
     /// Quiescence check, called with the state lock held: if every live
-    /// thread is blocked and no blocked operation is satisfiable, nothing
-    /// can ever happen again — decide Park vs Deadlock.
+    /// thread is blocked and nothing in any blocked thread's wait set is
+    /// satisfiable, nothing can ever happen again — decide Park vs
+    /// Deadlock.
     fn quiescent_verdict(st: &MonState, queues: &[SpscQueue]) -> Option<Verdict> {
         let all_stopped = st
             .blocked
@@ -131,7 +180,12 @@ impl Monitor {
         if !all_stopped {
             return None;
         }
-        if st.blocked.iter().flatten().any(|&i| satisfiable(i, queues)) {
+        if st
+            .blocked
+            .iter()
+            .flatten()
+            .any(|s| satisfiable_set(s, queues))
+        {
             return None;
         }
         if st.terminated[0] {
@@ -148,20 +202,20 @@ impl Monitor {
         }
     }
 
-    /// Blocks `thread` on `info` until the operation becomes satisfiable or
+    /// Blocks `thread` on `set` until anything in it becomes satisfiable or
     /// a verdict is issued. Re-runs the quiescence check on every poll, so
     /// whichever thread blocks last detects deadlock within one poll
     /// interval.
-    pub fn wait(&self, thread: usize, info: BlockInfo, queues: &[SpscQueue]) -> WaitOutcome {
+    pub fn wait(&self, thread: usize, set: &WaitSet, queues: &[SpscQueue]) -> WaitOutcome {
         let mut st = self.lock();
-        st.blocked[thread] = Some(info);
+        st.blocked[thread] = Some(set.clone());
         self.blocked_hint.fetch_add(1, Ordering::Relaxed);
         let outcome = loop {
             // Satisfiability first: a value that arrived just before a Park
             // verdict cannot exist (Park requires global unsatisfiability),
             // and SPSC ownership means a satisfiable operation stays
             // satisfiable until *this* thread performs it.
-            if satisfiable(info, queues) {
+            if satisfiable_set(set, queues) {
                 break WaitOutcome::Ready;
             }
             match st.verdict {
@@ -229,7 +283,7 @@ impl Monitor {
             .blocked
             .iter()
             .enumerate()
-            .find_map(|(t, b)| b.map(|info| (t, info)))
+            .find_map(|(t, b)| b.as_ref().map(|set| (t, set.primary)))
     }
 }
 
@@ -242,14 +296,7 @@ mod tests {
     fn lone_blocked_main_is_deadlock() {
         let queues = vec![SpscQueue::new(4, false)];
         let m = Monitor::new(1);
-        let out = m.wait(
-            0,
-            BlockInfo {
-                queue: 0,
-                kind: BlockKind::Consume,
-            },
-            &queues,
-        );
+        let out = m.wait(0, &WaitSet::solo(0, BlockKind::Consume), &queues);
         assert!(matches!(out, WaitOutcome::Fail));
         assert!(matches!(
             m.verdict(),
@@ -262,16 +309,8 @@ mod tests {
         let queues = Arc::new(vec![SpscQueue::new(4, false)]);
         let m = Arc::new(Monitor::new(2));
         let (mc, qc) = (Arc::clone(&m), Arc::clone(&queues));
-        let aux = std::thread::spawn(move || {
-            mc.wait(
-                1,
-                BlockInfo {
-                    queue: 0,
-                    kind: BlockKind::Consume,
-                },
-                &qc,
-            )
-        });
+        let aux =
+            std::thread::spawn(move || mc.wait(1, &WaitSet::solo(0, BlockKind::Consume), &qc));
         std::thread::sleep(Duration::from_millis(5));
         m.terminate(0, &queues);
         assert!(matches!(aux.join().unwrap(), WaitOutcome::Park));
@@ -283,16 +322,8 @@ mod tests {
         let queues = Arc::new(vec![SpscQueue::new(1, false)]);
         let m = Arc::new(Monitor::new(2));
         let (mc, qc) = (Arc::clone(&m), Arc::clone(&queues));
-        let consumer = std::thread::spawn(move || {
-            mc.wait(
-                1,
-                BlockInfo {
-                    queue: 0,
-                    kind: BlockKind::Consume,
-                },
-                &qc,
-            )
-        });
+        let consumer =
+            std::thread::spawn(move || mc.wait(1, &WaitSet::solo(0, BlockKind::Consume), &qc));
         std::thread::sleep(Duration::from_millis(5));
         assert!(queues[0].try_produce(9));
         m.notify_activity();
@@ -305,18 +336,50 @@ mod tests {
         let queues = Arc::new(vec![SpscQueue::new(1, false)]);
         let m = Arc::new(Monitor::new(2));
         let (mc, qc) = (Arc::clone(&m), Arc::clone(&queues));
-        let waiter = std::thread::spawn(move || {
-            mc.wait(
-                1,
-                BlockInfo {
-                    queue: 0,
-                    kind: BlockKind::Consume,
-                },
-                &qc,
-            )
-        });
+        let waiter =
+            std::thread::spawn(move || mc.wait(1, &WaitSet::solo(0, BlockKind::Consume), &qc));
         std::thread::sleep(Duration::from_millis(5));
         m.fail(RtError::StepLimit(1));
         assert!(matches!(waiter.join().unwrap(), WaitOutcome::Fail));
+    }
+
+    #[test]
+    fn pending_flush_denies_quiescence() {
+        // Thread 0 (main) blocked consuming empty queue 1, but it owes a
+        // flush to queue 0 which has space: not a deadlock — the wait must
+        // return Ready so the worker can side-flush.
+        let queues = vec![SpscQueue::new(4, false), SpscQueue::new(4, false)];
+        let m = Monitor::new(1);
+        let set = WaitSet {
+            primary: BlockInfo {
+                queue: 1,
+                kind: BlockKind::Consume,
+            },
+            flush: vec![0],
+        };
+        let out = m.wait(0, &set, &queues);
+        assert!(matches!(out, WaitOutcome::Ready));
+        assert!(m.verdict().is_none());
+    }
+
+    #[test]
+    fn unflushable_pending_flush_still_deadlocks() {
+        // Same shape, but the flush target is itself full: genuinely stuck.
+        let queues = vec![SpscQueue::new(1, false), SpscQueue::new(1, false)];
+        assert!(queues[0].try_produce(1));
+        let m = Monitor::new(1);
+        let set = WaitSet {
+            primary: BlockInfo {
+                queue: 1,
+                kind: BlockKind::Consume,
+            },
+            flush: vec![0],
+        };
+        let out = m.wait(0, &set, &queues);
+        assert!(matches!(out, WaitOutcome::Fail));
+        assert!(matches!(
+            m.verdict(),
+            Some(Verdict::Fail(RtError::Deadlock { .. }))
+        ));
     }
 }

@@ -9,10 +9,18 @@
 //! consumer — the property DSWP's memory-synchronization flows rely on),
 //! and `consume` acquires it.
 //!
+//! The hardware synchronization array the paper models costs roughly a
+//! cycle per `produce`/`consume`; a software queue costs a cross-core
+//! cache-line transfer per cursor update. The **batched** fast path
+//! ([`push_batch`](SpscQueue::push_batch) /
+//! [`pop_batch`](SpscQueue::pop_batch)) amortizes that gap: a chunk of
+//! values is published with a *single* release store, and drained with a
+//! single acquire load plus a single release store of `head`.
+//!
 //! Blocking (full queue on produce, empty queue on consume) is *not*
-//! handled here; the runtime's [`Monitor`](crate::monitor::Monitor) parks
+//! handled here; the runtime's internal `Monitor` parks
 //! and unparks threads and performs global deadlock detection. This module
-//! only offers the non-blocking `try_*` operations plus occupancy
+//! only offers the non-blocking `try_*`/`*_batch` operations plus occupancy
 //! statistics.
 
 use std::cell::UnsafeCell;
@@ -25,6 +33,80 @@ use std::sync::Mutex;
 #[repr(align(64))]
 #[derive(Debug, Default)]
 struct CacheLine<T>(T);
+
+/// Number of power-of-two histogram buckets: sizes 1, 2–3, 4–7, … , ≥128.
+const HIST_BUCKETS: usize = 8;
+
+/// Single-writer histogram of batch sizes. Only the owning endpoint thread
+/// (producer for flushes, consumer for refills) records into it, so plain
+/// load+store on the atomics is exact — the atomics exist only so the
+/// runtime thread can snapshot after joining.
+#[derive(Debug, Default)]
+struct Histo {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histo {
+    fn record(&self, n: usize) {
+        let b = (usize::BITS - 1 - (n | 1).leading_zeros()).min(HIST_BUCKETS as u32 - 1) as usize;
+        let bucket = &self.buckets[b];
+        bucket.store(bucket.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+        self.count
+            .store(self.count.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+        self.sum.store(
+            self.sum.load(Ordering::Relaxed) + n as u64,
+            Ordering::Relaxed,
+        );
+    }
+
+    fn snapshot(&self) -> BatchHistogram {
+        let mut buckets = [0u64; HIST_BUCKETS];
+        for (out, b) in buckets.iter_mut().zip(&self.buckets) {
+            *out = b.load(Ordering::Relaxed);
+        }
+        BatchHistogram {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Snapshot of a batch-size distribution (flushes or refills) with
+/// power-of-two buckets: `buckets[i]` counts batches of size
+/// `2^i ..= 2^(i+1)-1` (last bucket is open-ended).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchHistogram {
+    /// Power-of-two size buckets: 1, 2–3, 4–7, 8–15, 16–31, 32–63, 64–127,
+    /// ≥128.
+    pub buckets: [u64; HIST_BUCKETS],
+    /// Total number of batches recorded.
+    pub count: u64,
+    /// Total number of values across all batches.
+    pub sum: u64,
+}
+
+impl BatchHistogram {
+    /// Records one batch of `n` values (single-owner accumulation — the
+    /// worker-side counterpart of [`Histo::record`]).
+    pub(crate) fn add(&mut self, n: usize) {
+        let b = (usize::BITS - 1 - (n | 1).leading_zeros()).min(HIST_BUCKETS as u32 - 1) as usize;
+        self.buckets[b] += 1;
+        self.count += 1;
+        self.sum += n as u64;
+    }
+
+    /// Mean batch size, or 0.0 when nothing was recorded.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
 
 /// A bounded SPSC queue of `i64` words.
 #[derive(Debug)]
@@ -41,6 +123,10 @@ pub struct SpscQueue {
     pub(crate) producer_blocks: AtomicU64,
     /// Times the consumer found the queue empty.
     pub(crate) consumer_blocks: AtomicU64,
+    /// Sizes of successful producer-side publishes (batched or single).
+    flush_hist: Histo,
+    /// Sizes of successful consumer-side acquires (batched or single).
+    refill_hist: Histo,
     /// Produced-value log (only filled when stream recording is on).
     stream: Mutex<Vec<i64>>,
     record_stream: bool,
@@ -71,6 +157,10 @@ pub struct QueueStats {
     pub producer_blocks: u64,
     /// Consume attempts that found the queue empty (starvation events).
     pub consumer_blocks: u64,
+    /// Distribution of producer-side publish (flush) sizes.
+    pub flush_sizes: BatchHistogram,
+    /// Distribution of consumer-side acquire (refill) sizes.
+    pub refill_sizes: BatchHistogram,
 }
 
 impl SpscQueue {
@@ -85,6 +175,8 @@ impl SpscQueue {
             max_occupancy: AtomicUsize::new(0),
             producer_blocks: AtomicU64::new(0),
             consumer_blocks: AtomicU64::new(0),
+            flush_hist: Histo::default(),
+            refill_hist: Histo::default(),
             stream: Mutex::new(Vec::new()),
             record_stream,
             poisoned: AtomicBool::new(false),
@@ -104,34 +196,75 @@ impl SpscQueue {
         self.poisoned.load(Ordering::Acquire)
     }
 
-    /// Attempts to enqueue `v`. Returns `false` when the queue is full.
+    /// Attempts to enqueue a prefix of `vals`, publishing however many fit
+    /// with a **single** release store of `tail`. Returns the number of
+    /// values accepted (0 when the queue is full or `vals` is empty).
     /// Must only be called from the single producer thread.
-    pub fn try_produce(&self, v: i64) -> bool {
+    pub fn push_batch(&self, vals: &[i64]) -> usize {
+        if vals.is_empty() {
+            return 0;
+        }
         let tail = self.tail.0.load(Ordering::Relaxed);
         let head = self.head.0.load(Ordering::Acquire);
         let occ = tail.wrapping_sub(head);
-        if occ == self.capacity {
-            return false;
+        let n = (self.capacity - occ).min(vals.len());
+        if n == 0 {
+            return 0;
         }
-        // SAFETY: slot `tail % capacity` is outside the consumer's visible
+        // SAFETY: slots `tail .. tail+n` are outside the consumer's visible
         // window until the release store below.
-        unsafe {
-            *self.slots[tail % self.capacity].get() = v;
+        for (i, &v) in vals[..n].iter().enumerate() {
+            unsafe {
+                *self.slots[tail.wrapping_add(i) % self.capacity].get() = v;
+            }
         }
-        self.tail.0.store(tail.wrapping_add(1), Ordering::Release);
+        self.tail.0.store(tail.wrapping_add(n), Ordering::Release);
         // Only the producer writes this; load+store beats an RMW.
-        if occ + 1 > self.max_occupancy.load(Ordering::Relaxed) {
-            self.max_occupancy.store(occ + 1, Ordering::Relaxed);
+        if occ + n > self.max_occupancy.load(Ordering::Relaxed) {
+            self.max_occupancy.store(occ + n, Ordering::Relaxed);
         }
+        self.flush_hist.record(n);
         if self.record_stream {
             // Poison-tolerant: a stage that crashed mid-push must not take
             // the survivors down with a second panic.
             self.stream
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .push(v);
+                .extend_from_slice(&vals[..n]);
         }
-        true
+        n
+    }
+
+    /// Attempts to dequeue up to `max` values into `out`, consuming however
+    /// many are available with a **single** acquire of `tail` and a single
+    /// release store of `head`. Returns the number of values appended.
+    /// Must only be called from the single consumer thread.
+    pub fn pop_batch(&self, out: &mut Vec<i64>, max: usize) -> usize {
+        if max == 0 {
+            return 0;
+        }
+        let head = self.head.0.load(Ordering::Relaxed);
+        let tail = self.tail.0.load(Ordering::Acquire);
+        let n = tail.wrapping_sub(head).min(max);
+        if n == 0 {
+            return 0;
+        }
+        out.reserve(n);
+        // SAFETY: the acquire load of `tail` made the producer's writes to
+        // these slots visible, and the producer will not reuse them until
+        // the release store of `head` below.
+        for i in 0..n {
+            out.push(unsafe { *self.slots[head.wrapping_add(i) % self.capacity].get() });
+        }
+        self.head.0.store(head.wrapping_add(n), Ordering::Release);
+        self.refill_hist.record(n);
+        n
+    }
+
+    /// Attempts to enqueue `v`. Returns `false` when the queue is full.
+    /// Must only be called from the single producer thread.
+    pub fn try_produce(&self, v: i64) -> bool {
+        self.push_batch(std::slice::from_ref(&v)) == 1
     }
 
     /// Attempts to dequeue a value. Returns `None` when the queue is empty.
@@ -147,6 +280,7 @@ impl SpscQueue {
         // release store of `head` below.
         let v = unsafe { *self.slots[head % self.capacity].get() };
         self.head.0.store(head.wrapping_add(1), Ordering::Release);
+        self.refill_hist.record(1);
         Some(v)
     }
 
@@ -176,6 +310,8 @@ impl SpscQueue {
             max_occupancy: self.max_occupancy.load(Ordering::Relaxed),
             producer_blocks: self.producer_blocks.load(Ordering::Relaxed),
             consumer_blocks: self.consumer_blocks.load(Ordering::Relaxed),
+            flush_sizes: self.flush_hist.snapshot(),
+            refill_sizes: self.refill_hist.snapshot(),
         }
     }
 
@@ -227,6 +363,129 @@ mod tests {
     }
 
     #[test]
+    fn batch_push_accepts_prefix_when_nearly_full() {
+        let q = SpscQueue::new(4, false);
+        assert_eq!(q.push_batch(&[1, 2, 3]), 3);
+        assert_eq!(q.push_batch(&[4, 5, 6]), 1); // only one slot left
+        assert_eq!(q.push_batch(&[9]), 0); // full
+        let mut out = Vec::new();
+        assert_eq!(q.pop_batch(&mut out, 10), 4);
+        assert_eq!(out, vec![1, 2, 3, 4]);
+        assert_eq!(q.pop_batch(&mut out, 10), 0);
+    }
+
+    #[test]
+    fn batch_roundtrip_across_wraparound() {
+        let q = SpscQueue::new(8, false);
+        let mut next = 0i64;
+        let mut expect = 0i64;
+        let mut out = Vec::new();
+        for round in 0..100 {
+            let chunk: Vec<i64> = (0..(round % 7 + 1))
+                .map(|_| {
+                    next += 1;
+                    next
+                })
+                .collect();
+            let pushed = q.push_batch(&chunk);
+            out.clear();
+            q.pop_batch(&mut out, 16);
+            for &v in &out {
+                expect += 1;
+                assert_eq!(v, expect);
+            }
+            // Push whatever didn't fit so values are never lost.
+            let mut rest = &chunk[pushed..];
+            while !rest.is_empty() {
+                let n = q.push_batch(rest);
+                rest = &rest[n..];
+                if n == 0 {
+                    out.clear();
+                    q.pop_batch(&mut out, 16);
+                    for &v in &out {
+                        expect += 1;
+                        assert_eq!(v, expect);
+                    }
+                }
+            }
+        }
+        out.clear();
+        q.pop_batch(&mut out, usize::MAX);
+        for &v in &out {
+            expect += 1;
+            assert_eq!(v, expect);
+        }
+        assert_eq!(expect, next);
+    }
+
+    #[test]
+    fn pop_batch_is_bounded_by_max() {
+        let q = SpscQueue::new(8, false);
+        assert_eq!(q.push_batch(&[1, 2, 3, 4, 5]), 5);
+        let mut out = Vec::new();
+        assert_eq!(q.pop_batch(&mut out, 2), 2);
+        assert_eq!(out, vec![1, 2]);
+        assert_eq!(q.pop_batch(&mut out, 0), 0);
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn histograms_count_batch_sizes() {
+        let q = SpscQueue::new(64, false);
+        q.push_batch(&[0; 16]);
+        q.push_batch(&[0; 1]);
+        let mut out = Vec::new();
+        q.pop_batch(&mut out, 17);
+        let s = q.stats();
+        assert_eq!(s.flush_sizes.count, 2);
+        assert_eq!(s.flush_sizes.sum, 17);
+        assert_eq!(s.flush_sizes.buckets[4], 1); // 16 lands in the 16–31 bucket
+        assert_eq!(s.flush_sizes.buckets[0], 1); // the single value
+        assert_eq!(s.refill_sizes.count, 1);
+        assert_eq!(s.refill_sizes.sum, 17);
+        assert!((s.refill_sizes.mean() - 17.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concurrent_batched_transfer_preserves_order_and_values() {
+        const N: i64 = 100_000;
+        let q = Arc::new(SpscQueue::new(32, false));
+        let qp = Arc::clone(&q);
+        let producer = std::thread::spawn(move || {
+            let mut i = 0i64;
+            while i < N {
+                let hi = (i + 13).min(N);
+                let chunk: Vec<i64> = (i..hi).collect();
+                let mut rest = &chunk[..];
+                while !rest.is_empty() {
+                    let n = qp.push_batch(rest);
+                    rest = &rest[n..];
+                    if n == 0 {
+                        std::thread::yield_now();
+                    }
+                }
+                i = hi;
+            }
+        });
+        let mut expected = 0i64;
+        let mut buf = Vec::new();
+        while expected < N {
+            buf.clear();
+            if q.pop_batch(&mut buf, 16) == 0 {
+                std::thread::yield_now();
+                continue;
+            }
+            for &v in &buf {
+                assert_eq!(v, expected);
+                expected += 1;
+            }
+        }
+        producer.join().unwrap();
+        assert!(q.is_empty());
+        assert!(q.stats().max_occupancy <= 32);
+    }
+
+    #[test]
     fn concurrent_transfer_preserves_order_and_values() {
         const N: i64 = 100_000;
         let q = Arc::new(SpscQueue::new(8, false));
@@ -274,5 +533,15 @@ mod tests {
         q.try_produce(8);
         q.try_consume();
         assert_eq!(q.take_stream(), vec![7, 8]);
+    }
+
+    #[test]
+    fn stream_records_batches_in_order() {
+        let q = SpscQueue::new(4, true);
+        assert_eq!(q.push_batch(&[1, 2, 3]), 3);
+        let mut out = Vec::new();
+        q.pop_batch(&mut out, 2);
+        assert_eq!(q.push_batch(&[4, 5, 6]), 3);
+        assert_eq!(q.take_stream(), vec![1, 2, 3, 4, 5, 6]);
     }
 }

@@ -13,6 +13,33 @@
 //! routing every cross-stage memory dependence through a synchronization
 //! flow.
 //!
+//! # Batched communication
+//!
+//! With a per-queue batch size `b > 1`, produced values are accumulated in
+//! a per-queue local buffer and *flushed* — published with one release
+//! store — when the buffer reaches `b` values; consumers *refill* a local
+//! buffer with up to `b` values in one acquire and serve from it. Four
+//! rules keep batching an invisible (timing-only) change:
+//!
+//! * **Flush before blocking.** A thread that blocks for any reason
+//!   side-flushes every non-empty output buffer inside its blocking loop
+//!   and registers the still-pending ones in its monitor
+//!   [`WaitSet`], so buffered values can never
+//!   manufacture a deadlock the unbatched runtime would not have.
+//! * **Flush on stage end.** A terminating stage performs a blocking flush
+//!   of every residual buffer before it reports termination.
+//! * **Flush on cadence.** Every `STEP_BATCH` retired instructions (the
+//!   budget-refill boundary) the worker opportunistically flushes lingering
+//!   buffers, so a stage that stops producing but keeps computing cannot
+//!   starve its consumers behind a half-filled chunk.
+//! * **Refills never wait for a full chunk.** A refill takes whatever is
+//!   available (up to `b`), so a half-filled chunk published by the
+//!   producer is consumed immediately.
+//!
+//! Fault hooks fire per *flush/refill operation* — with `b = 1` every
+//! produce is a flush and every consume is a refill, so the unbatched
+//! fault cadence is preserved exactly.
+//!
 //! When the runtime carries a [`FaultPlan`], each worker additionally
 //! drives a [`FaultSession`]: periodic busy-spin delays, artificial
 //! queue-operation stalls, queue poisoning, and forced panics at an exact
@@ -29,12 +56,13 @@ use dswp_ir::interp::{eval_binary, eval_cmp, eval_unary};
 use dswp_ir::{FuncId, Op, Program};
 
 use crate::fault::{FaultPlan, InjectedPanic, StageFaults};
-use crate::monitor::{BlockInfo, BlockKind, Monitor, WaitOutcome};
-use crate::queue::SpscQueue;
+use crate::monitor::{BlockInfo, BlockKind, Monitor, WaitOutcome, WaitSet};
+use crate::queue::{BatchHistogram, SpscQueue};
 use crate::RtError;
 
 /// Steps claimed from the shared budget at a time; also the cadence of
-/// abort-flag checks and progress heartbeats.
+/// abort-flag checks, progress heartbeats, and opportunistic flushes of
+/// lingering output buffers.
 const STEP_BATCH: u64 = 1024;
 /// Busy-spin iterations on a blocked queue before yielding.
 const SPINS: u32 = 64;
@@ -49,6 +77,8 @@ pub(crate) struct Shared<'p> {
     pub memory: Vec<AtomicI64>,
     pub queues: Vec<SpscQueue>,
     pub monitor: Monitor,
+    /// Per-queue communication batch size (≥ 1; 1 = unbatched).
+    pub batches: Vec<usize>,
     /// Total steps claimed across all threads (runaway guard).
     pub steps_claimed: AtomicU64,
     pub step_limit: u64,
@@ -96,22 +126,65 @@ pub(crate) struct WorkerReport {
     pub retries: u64,
     /// Times the stage gave up spinning and parked on the monitor.
     pub parks: u64,
+    /// Sizes of the logical output batches this stage flushed.
+    pub flushes: BatchHistogram,
+    /// Sizes of the input batches this stage refilled.
+    pub refills: BatchHistogram,
 }
 
 enum QueueOutcome {
     /// The operation completed; for consumes, carries the value.
     Done(i64),
-    /// The queue was poisoned: the peer endpoint is dead (or a fault plan
-    /// poisoned it) and the operation can never complete meaningfully.
-    Poisoned,
+    /// The named queue was poisoned: the peer endpoint is dead (or a fault
+    /// plan poisoned it) and the operation — or a pending flush to it —
+    /// can never complete meaningfully.
+    Poisoned(usize),
     Stop(WorkerEnd),
+}
+
+/// Per-queue consumer-side local buffer: values acquired in one refill,
+/// served one at a time.
+#[derive(Debug, Default)]
+struct InBuf {
+    vals: Vec<i64>,
+    next: usize,
+}
+
+impl InBuf {
+    fn pop(&mut self) -> Option<i64> {
+        let v = *self.vals.get(self.next)?;
+        self.next += 1;
+        Some(v)
+    }
+}
+
+/// A worker's communication state: per-queue output buffers awaiting a
+/// flush, per-queue input buffers being served, and the per-stage batch
+/// histograms.
+struct Comm {
+    out: Vec<Vec<i64>>,
+    inq: Vec<InBuf>,
+    flushes: BatchHistogram,
+    refills: BatchHistogram,
+}
+
+impl Comm {
+    fn new(num_queues: usize) -> Self {
+        Comm {
+            out: vec![Vec::new(); num_queues],
+            inq: (0..num_queues).map(|_| InBuf::default()).collect(),
+            flushes: BatchHistogram::default(),
+            refills: BatchHistogram::default(),
+        }
+    }
 }
 
 /// The per-worker fault-injection state: counters that decide when the
 /// stage's [`StageFaults`] fire.
 struct FaultSession {
     faults: StageFaults,
-    /// Queue operations performed so far (drives stall cadence).
+    /// Flush/refill operations performed so far (drives stall cadence;
+    /// with batch size 1 this is exactly the queue-operation count).
     queue_ops: u64,
     /// Whether the poison fault already fired.
     poisoned: bool,
@@ -160,7 +233,7 @@ impl FaultSession {
         }
     }
 
-    /// Queue-operation hook: how many attempts of the upcoming operation
+    /// Flush/refill hook: how many attempts of the upcoming operation
     /// must artificially fail (`u32::MAX` = the operation never completes).
     fn stall_budget(&mut self) -> u32 {
         self.queue_ops += 1;
@@ -205,15 +278,48 @@ struct Backoff {
     parks: u64,
 }
 
-/// Spin-then-park loop shared by produce and consume. `attempt` performs
-/// the non-blocking queue operation, returning the consumed value (or 0 for
-/// produces) on success. `forced_fails` attempts are failed artificially
-/// first (fault injection; `u32::MAX` stalls the operation forever — the
-/// watchdog or deadline then ends the run).
-fn blocking_op(
+/// Opportunistically flushes every non-empty output buffer as far as the
+/// queues allow (never blocking). Called at budget-refill boundaries and
+/// from inside the blocking loop, so buffered values reach consumers even
+/// while this stage computes or waits on a different queue.
+fn side_flush(shared: &Shared<'_>, out: &mut [Vec<i64>]) {
+    let mut progress = false;
+    for (qi, buf) in out.iter_mut().enumerate() {
+        if buf.is_empty() {
+            continue;
+        }
+        let q = &shared.queues[qi];
+        if q.is_poisoned() {
+            continue; // surfaces as an error at the blocking flush
+        }
+        let n = q.push_batch(buf);
+        if n > 0 {
+            buf.drain(..n);
+            progress = true;
+        }
+    }
+    if progress {
+        shared.monitor.notify_activity();
+    }
+}
+
+/// Spin-then-park loop shared by flushes and refills. `attempt` performs
+/// the non-blocking queue operation, returning the first consumed value
+/// (or 0 for flushes) on completion; it may make partial progress across
+/// calls. `forced_fails` attempts are failed artificially first (fault
+/// injection; `u32::MAX` stalls the operation forever — the watchdog or
+/// deadline then ends the run).
+///
+/// While waiting, the worker side-flushes its other pending output
+/// buffers (`out`) and registers them in its monitor [`WaitSet`], so
+/// buffered values cannot deadlock the pipeline and a pending flush to a
+/// poisoned queue is converted into a structured error instead of a hang.
+#[allow(clippy::too_many_arguments)]
+fn comm_wait(
     shared: &Shared<'_>,
     thread: usize,
     info: BlockInfo,
+    out: &mut [Vec<i64>],
     blocked_time: &mut Duration,
     backoff: &mut Backoff,
     mut forced_fails: u32,
@@ -241,7 +347,7 @@ fn blocking_op(
     };
     // Fast path: no contention, no timing overhead.
     if poisoned(queue) {
-        return QueueOutcome::Poisoned;
+        return QueueOutcome::Poisoned(info.queue);
     }
     if let Some(v) = attempt() {
         shared.monitor.notify_activity();
@@ -253,36 +359,141 @@ fn blocking_op(
     };
     let began = Instant::now();
     let mut tries: u32 = 0;
-    let outcome = loop {
-        if poisoned(queue) {
-            break QueueOutcome::Poisoned;
-        }
-        if let Some(v) = attempt() {
-            shared.monitor.notify_activity();
-            break QueueOutcome::Done(v);
-        }
-        if shared.abort.load(Ordering::Relaxed) {
-            break QueueOutcome::Stop(WorkerEnd::Aborted);
-        }
-        backoff.retries += 1;
-        tries += 1;
-        if tries <= SPINS {
-            std::hint::spin_loop();
-        } else if tries <= SPINS + YIELDS {
-            std::thread::yield_now();
-        } else {
-            tries = 0;
-            backoff.parks += 1;
-            match shared.monitor.wait(thread, info, &shared.queues) {
-                WaitOutcome::Ready => {}
-                WaitOutcome::Park => break QueueOutcome::Stop(WorkerEnd::Parked),
-                WaitOutcome::Fail => break QueueOutcome::Stop(WorkerEnd::Aborted),
+    let outcome =
+        loop {
+            if poisoned(queue) {
+                break QueueOutcome::Poisoned(info.queue);
             }
-        }
-    };
+            // A pending flush to a poisoned queue can never be delivered —
+            // fail now rather than spin on a satisfiable-but-unflushable set.
+            if let Some(qi) = out.iter().enumerate().find_map(|(qi, b)| {
+                (!b.is_empty() && shared.queues[qi].is_poisoned()).then_some(qi)
+            }) {
+                break QueueOutcome::Poisoned(qi);
+            }
+            if let Some(v) = attempt() {
+                shared.monitor.notify_activity();
+                break QueueOutcome::Done(v);
+            }
+            if shared.abort.load(Ordering::Relaxed) {
+                break QueueOutcome::Stop(WorkerEnd::Aborted);
+            }
+            side_flush(shared, out);
+            backoff.retries += 1;
+            tries += 1;
+            if tries <= SPINS {
+                std::hint::spin_loop();
+            } else if tries <= SPINS + YIELDS {
+                std::thread::yield_now();
+            } else {
+                tries = 0;
+                backoff.parks += 1;
+                let set = WaitSet {
+                    primary: info,
+                    flush: out
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, b)| !b.is_empty())
+                        .map(|(qi, _)| qi)
+                        .collect(),
+                };
+                match shared.monitor.wait(thread, &set, &shared.queues) {
+                    WaitOutcome::Ready => {}
+                    WaitOutcome::Park => break QueueOutcome::Stop(WorkerEnd::Parked),
+                    WaitOutcome::Fail => break QueueOutcome::Stop(WorkerEnd::Aborted),
+                }
+            }
+        };
     shared.progress.fetch_add(1, Ordering::Relaxed);
     *blocked_time += began.elapsed();
     outcome
+}
+
+/// Blocking flush of output buffer `qi`: publishes every buffered value
+/// (possibly across several partial `push_batch`es while the consumer
+/// drains) before returning `Done`.
+fn flush_queue(
+    shared: &Shared<'_>,
+    thread: usize,
+    qi: usize,
+    comm: &mut Comm,
+    faults: &mut FaultSession,
+    blocked_time: &mut Duration,
+    backoff: &mut Backoff,
+) -> QueueOutcome {
+    let mut buf = std::mem::take(&mut comm.out[qi]);
+    let q = &shared.queues[qi];
+    let info = BlockInfo {
+        queue: qi,
+        kind: BlockKind::Produce,
+    };
+    let stall = faults.stall_budget();
+    let total = buf.len();
+    let mut pos = 0usize;
+    let res = comm_wait(
+        shared,
+        thread,
+        info,
+        &mut comm.out,
+        blocked_time,
+        backoff,
+        stall,
+        || {
+            let n = q.push_batch(&buf[pos..]);
+            if n > 0 {
+                pos += n;
+                shared.monitor.notify_activity();
+            }
+            (pos == total).then_some(0)
+        },
+    );
+    if matches!(res, QueueOutcome::Done(_)) {
+        comm.flushes.add(total);
+    }
+    buf.clear();
+    comm.out[qi] = buf; // keep the allocation
+    res
+}
+
+/// Blocking refill of input buffer `qi`: acquires up to the queue's batch
+/// size in one `pop_batch` (never waiting for a full chunk) and returns
+/// the first value; the rest are served from the local buffer.
+fn refill_queue(
+    shared: &Shared<'_>,
+    thread: usize,
+    qi: usize,
+    comm: &mut Comm,
+    faults: &mut FaultSession,
+    blocked_time: &mut Duration,
+    backoff: &mut Backoff,
+) -> QueueOutcome {
+    let mut buf = std::mem::take(&mut comm.inq[qi]);
+    buf.vals.clear();
+    buf.next = 0;
+    let q = &shared.queues[qi];
+    let info = BlockInfo {
+        queue: qi,
+        kind: BlockKind::Consume,
+    };
+    let stall = faults.stall_budget();
+    let max = shared.batches[qi];
+    let vals = &mut buf.vals;
+    let res = comm_wait(
+        shared,
+        thread,
+        info,
+        &mut comm.out,
+        blocked_time,
+        backoff,
+        stall,
+        || (q.pop_batch(vals, max) > 0).then(|| vals[0]),
+    );
+    if matches!(res, QueueOutcome::Done(_)) {
+        buf.next = 1;
+        comm.refills.add(buf.vals.len());
+    }
+    comm.inq[qi] = buf; // keep the allocation
+    res
 }
 
 /// Runs hardware context `thread` to completion. Errors are reported to the
@@ -292,6 +503,7 @@ pub(crate) fn run_worker(shared: &Shared<'_>, thread: usize) -> WorkerReport {
     let mut blocked_time = Duration::ZERO;
     let mut backoff = Backoff::default();
     let mut faults = FaultSession::new(shared.faults, thread);
+    let mut comm = Comm::new(shared.queues.len());
     let program = shared.program;
     let entry = program.thread_entries()[thread];
     let mut stack: Vec<Frame> = vec![new_frame(program.function(entry), entry)];
@@ -304,8 +516,8 @@ pub(crate) fn run_worker(shared: &Shared<'_>, thread: usize) -> WorkerReport {
         WorkerEnd::Aborted
     };
     // Converts a blocked-op outcome shared by all four queue instructions.
-    let queue_stop = |end: QueueOutcome, queue: usize| match end {
-        QueueOutcome::Poisoned => fail(RtError::QueuePoisoned {
+    let queue_stop = |end: QueueOutcome| match end {
+        QueueOutcome::Poisoned(queue) => fail(RtError::QueuePoisoned {
             queue,
             stage: thread,
         }),
@@ -313,7 +525,7 @@ pub(crate) fn run_worker(shared: &Shared<'_>, thread: usize) -> WorkerReport {
         QueueOutcome::Done(_) => unreachable!("Done handled by the caller"),
     };
 
-    let end = 'run: loop {
+    let mut end = 'run: loop {
         if budget == 0 {
             let base = shared
                 .steps_claimed
@@ -327,6 +539,9 @@ pub(crate) fn run_worker(shared: &Shared<'_>, thread: usize) -> WorkerReport {
             if shared.abort.load(Ordering::Relaxed) {
                 break 'run WorkerEnd::Aborted;
             }
+            // Cadence flush: don't let buffered values linger while this
+            // stage computes without touching its queues.
+            side_flush(shared, &mut comm.out);
         }
         budget -= 1;
         steps += 1;
@@ -434,98 +649,93 @@ pub(crate) fn run_worker(shared: &Shared<'_>, thread: usize) -> WorkerReport {
             }
             Op::Produce { queue, src } => {
                 let v = read_operand(src, &frame.regs);
-                let q = &shared.queues[queue.index()];
-                let info = BlockInfo {
-                    queue: queue.index(),
-                    kind: BlockKind::Produce,
-                };
-                let stall = faults.stall_budget();
-                match blocking_op(
-                    shared,
-                    thread,
-                    info,
-                    &mut blocked_time,
-                    &mut backoff,
-                    stall,
-                    || q.try_produce(v).then_some(0),
-                ) {
-                    QueueOutcome::Done(_) => frame.index += 1,
-                    other => {
-                        steps -= 1; // the op never completed
-                        break 'run queue_stop(other, queue.index());
+                let qi = queue.index();
+                comm.out[qi].push(v);
+                if comm.out[qi].len() >= shared.batches[qi] {
+                    match flush_queue(
+                        shared,
+                        thread,
+                        qi,
+                        &mut comm,
+                        &mut faults,
+                        &mut blocked_time,
+                        &mut backoff,
+                    ) {
+                        QueueOutcome::Done(_) => frame.index += 1,
+                        other => {
+                            steps -= 1; // the op never completed
+                            break 'run queue_stop(other);
+                        }
                     }
+                } else {
+                    frame.index += 1;
                 }
             }
             Op::Consume { queue, dst } => {
-                let q = &shared.queues[queue.index()];
-                let info = BlockInfo {
-                    queue: queue.index(),
-                    kind: BlockKind::Consume,
+                let qi = queue.index();
+                let v = match comm.inq[qi].pop() {
+                    Some(v) => v,
+                    None => match refill_queue(
+                        shared,
+                        thread,
+                        qi,
+                        &mut comm,
+                        &mut faults,
+                        &mut blocked_time,
+                        &mut backoff,
+                    ) {
+                        QueueOutcome::Done(v) => v,
+                        other => {
+                            steps -= 1;
+                            break 'run queue_stop(other);
+                        }
+                    },
                 };
-                let stall = faults.stall_budget();
-                match blocking_op(
-                    shared,
-                    thread,
-                    info,
-                    &mut blocked_time,
-                    &mut backoff,
-                    stall,
-                    || q.try_consume(),
-                ) {
-                    QueueOutcome::Done(v) => {
-                        frame.regs[dst.index()] = v;
-                        frame.index += 1;
-                    }
-                    other => {
-                        steps -= 1;
-                        break 'run queue_stop(other, queue.index());
-                    }
-                }
+                frame.regs[dst.index()] = v;
+                frame.index += 1;
             }
             Op::ProduceToken { queue } => {
-                let q = &shared.queues[queue.index()];
-                let info = BlockInfo {
-                    queue: queue.index(),
-                    kind: BlockKind::Produce,
-                };
-                let stall = faults.stall_budget();
-                match blocking_op(
-                    shared,
-                    thread,
-                    info,
-                    &mut blocked_time,
-                    &mut backoff,
-                    stall,
-                    || q.try_produce(0).then_some(0),
-                ) {
-                    QueueOutcome::Done(_) => frame.index += 1,
-                    other => {
-                        steps -= 1;
-                        break 'run queue_stop(other, queue.index());
+                let qi = queue.index();
+                comm.out[qi].push(0);
+                if comm.out[qi].len() >= shared.batches[qi] {
+                    match flush_queue(
+                        shared,
+                        thread,
+                        qi,
+                        &mut comm,
+                        &mut faults,
+                        &mut blocked_time,
+                        &mut backoff,
+                    ) {
+                        QueueOutcome::Done(_) => frame.index += 1,
+                        other => {
+                            steps -= 1;
+                            break 'run queue_stop(other);
+                        }
                     }
+                } else {
+                    frame.index += 1;
                 }
             }
             Op::ConsumeToken { queue } => {
-                let q = &shared.queues[queue.index()];
-                let info = BlockInfo {
-                    queue: queue.index(),
-                    kind: BlockKind::Consume,
-                };
-                let stall = faults.stall_budget();
-                match blocking_op(
-                    shared,
-                    thread,
-                    info,
-                    &mut blocked_time,
-                    &mut backoff,
-                    stall,
-                    || q.try_consume(),
-                ) {
-                    QueueOutcome::Done(_) => frame.index += 1,
-                    other => {
-                        steps -= 1;
-                        break 'run queue_stop(other, queue.index());
-                    }
+                let qi = queue.index();
+                match comm.inq[qi].pop() {
+                    Some(_) => frame.index += 1,
+                    None => match refill_queue(
+                        shared,
+                        thread,
+                        qi,
+                        &mut comm,
+                        &mut faults,
+                        &mut blocked_time,
+                        &mut backoff,
+                    ) {
+                        QueueOutcome::Done(_) => frame.index += 1,
+                        other => {
+                            steps -= 1;
+                            break 'run queue_stop(other);
+                        }
+                    },
                 }
             }
             Op::Nop => {
@@ -533,6 +743,31 @@ pub(crate) fn run_worker(shared: &Shared<'_>, thread: usize) -> WorkerReport {
             }
         }
     };
+
+    // Stage-end flush: a terminating stage still owes its consumers
+    // whatever it buffered since the last flush.
+    if end == WorkerEnd::Terminated {
+        for qi in 0..shared.queues.len() {
+            if comm.out[qi].is_empty() {
+                continue;
+            }
+            match flush_queue(
+                shared,
+                thread,
+                qi,
+                &mut comm,
+                &mut faults,
+                &mut blocked_time,
+                &mut backoff,
+            ) {
+                QueueOutcome::Done(_) => {}
+                other => {
+                    end = queue_stop(other);
+                    break;
+                }
+            }
+        }
+    }
 
     if end == WorkerEnd::Terminated {
         shared.monitor.terminate(thread, &shared.queues);
@@ -548,5 +783,7 @@ pub(crate) fn run_worker(shared: &Shared<'_>, thread: usize) -> WorkerReport {
         blocked: blocked_time,
         retries: backoff.retries,
         parks: backoff.parks,
+        flushes: comm.flushes,
+        refills: comm.refills,
     }
 }

@@ -96,6 +96,71 @@ fn random_queue_capacities_never_change_results() {
     }
 }
 
+/// The batched analogue: across random queue capacities (1..64) *and*
+/// random communication batch sizes (1..64, occasionally `auto`), every
+/// observable — memory, entry registers, streams, per-stage step counts —
+/// must still coincide with the capacity-∞ functional oracle. Batch sizes
+/// above the capacity are deliberately in range: flushes then span several
+/// partial `push_batch`es.
+#[test]
+fn random_batch_sizes_never_change_results() {
+    let suite = transformed_suite();
+    let oracles: Vec<_> = suite
+        .iter()
+        .map(|(name, p)| {
+            Executor::new(p)
+                .run()
+                .unwrap_or_else(|e| panic!("{name}: oracle failed: {e}"))
+        })
+        .collect();
+
+    for seed in 0..cases(24) as u64 {
+        let mut rng = Rng::new(seed ^ 0x4241_5443_4845); // "BATCHE"
+        let idx = rng.below(suite.len());
+        let (name, program) = &suite[idx];
+        let oracle = &oracles[idx];
+        let capacity = rng.range(1, 65);
+        let batch = rng.range(1, 65);
+        let auto = rng.below(4) == 0;
+
+        let mut config = RtConfig::default()
+            .queue_capacity(capacity)
+            .record_streams(true);
+        config = if auto {
+            config.batch_auto()
+        } else {
+            config.batch(batch)
+        };
+        let native = Runtime::new(program)
+            .with_config(config)
+            .run()
+            .unwrap_or_else(|e| {
+                panic!("{name} (cap {capacity}, batch {batch}, auto {auto}, seed {seed}): {e}")
+            });
+
+        let ctx = format!("cap {capacity}, batch {batch}, auto {auto}, seed {seed}");
+        assert_eq!(native.memory, oracle.memory, "{name}: memory, {ctx}");
+        assert_eq!(
+            native.entry_regs, oracle.entry_regs,
+            "{name}: entry regs, {ctx}"
+        );
+        assert_eq!(
+            native.streams.as_ref().unwrap(),
+            &oracle.streams,
+            "{name}: streams, {ctx}"
+        );
+        let steps: Vec<u64> = native.stages.iter().map(|s| s.steps).collect();
+        assert_eq!(steps, oracle.steps, "{name}: steps, {ctx}");
+        for (q, qs) in native.queues.iter().enumerate() {
+            assert!(
+                qs.max_occupancy <= capacity,
+                "{name}: queue {q} occupancy {} exceeds capacity {capacity} ({ctx})",
+                qs.max_occupancy
+            );
+        }
+    }
+}
+
 /// Random producer/consumer value batches through a capacity-1..4 pipeline:
 /// FIFO order must survive real concurrency.
 #[test]

@@ -21,11 +21,21 @@
 //!                          deterministic executor (default), `native` on
 //!                          real OS threads (one per pipeline stage)
 //!   --queue-cap N          native queue capacity in values     (default 32)
+//!   --batch N|auto         native communication batch: values per queue
+//!                          publish (`auto` derives it from the capacity;
+//!                          token queues are capped low; default 1)
 //!   --chaos SEED           run `--run native` under the seeded fault plan
 //!                          (delays, stalls, forced panics, poisoning)
 //!   --deadline MS          hard wall-clock deadline for `--run native`;
 //!                          exceeded runs fail with a timeout diagnosis
 //! ```
+//!
+//! Exit codes: 0 success, 1 input/transform/execution errors, 2 usage.
+//! `--run native` failures map the structured runtime error to a distinct
+//! code so scripts and CI can tell a deadlock from a panic from a timeout:
+//! deadlock 10, watchdog 11, stage panic 12, queue poisoned 13, deadline
+//! timeout 14, cancelled 15, memory out of bounds 20, bad indirect call
+//! target 21, step limit 22, return from entry 23.
 
 use std::process::ExitCode;
 
@@ -38,7 +48,7 @@ use dswp_repro::dswp::{
 use dswp_repro::ir::interp::Interpreter;
 use dswp_repro::ir::verify::verify_program;
 use dswp_repro::ir::{parse_program, to_text, BlockId};
-use dswp_repro::rt::{silence_injected_panics, FaultPlan, RtConfig, Runtime};
+use dswp_repro::rt::{silence_injected_panics, BatchPolicy, FaultPlan, RtConfig, RtError, Runtime};
 use dswp_repro::sim::{Executor, Machine, MachineConfig};
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -61,8 +71,26 @@ struct Args {
     comm: u64,
     run: Option<RunMode>,
     queue_cap: usize,
+    batch: Option<BatchPolicy>,
     chaos: Option<u64>,
     deadline: Option<std::time::Duration>,
+}
+
+/// Exit code for a structured native-runtime error (documented in the
+/// module header and asserted by `tests/cli.rs`).
+fn rt_exit_code(e: &RtError) -> u8 {
+    match e {
+        RtError::Deadlock { .. } => 10,
+        RtError::Watchdog { .. } => 11,
+        RtError::StagePanic { .. } => 12,
+        RtError::QueuePoisoned { .. } => 13,
+        RtError::Timeout { .. } => 14,
+        RtError::Cancelled => 15,
+        RtError::MemoryOutOfBounds { .. } => 20,
+        RtError::BadIndirectTarget(_) => 21,
+        RtError::StepLimit(_) => 22,
+        RtError::ReturnFromEntry(_) => 23,
+    }
 }
 
 fn usage() -> ! {
@@ -70,8 +98,8 @@ fn usage() -> ! {
         "usage: dswpc <file.ir> [--dswp] [--loop bbN] [--unroll K] \
          [--alias conservative|region|precise] [--threads N] [--stats] \
          [--dot FILE] [--emit FILE] [--sim [full|half]] [--comm N] \
-         [--run [functional|native]] [--queue-cap N] [--chaos SEED] \
-         [--deadline MS]"
+         [--run [functional|native]] [--queue-cap N] [--batch N|auto] \
+         [--chaos SEED] [--deadline MS]"
     );
     std::process::exit(2);
 }
@@ -91,6 +119,7 @@ fn parse_args() -> Args {
         comm: 1,
         run: None,
         queue_cap: 32,
+        batch: None,
         chaos: None,
         deadline: None,
     };
@@ -118,6 +147,18 @@ fn parse_args() -> Args {
                     .and_then(|v| v.parse::<usize>().ok())
                     .filter(|&n| n >= 1)
                     .unwrap_or_else(|| usage());
+            }
+            "--batch" => {
+                args.batch = Some(match it.next().as_deref() {
+                    Some("auto") => BatchPolicy::Auto,
+                    Some(v) => BatchPolicy::Fixed(
+                        v.parse::<usize>()
+                            .ok()
+                            .filter(|&n| n >= 1)
+                            .unwrap_or_else(|| usage()),
+                    ),
+                    None => usage(),
+                });
             }
             "--chaos" => {
                 args.chaos = Some(
@@ -349,6 +390,15 @@ fn main() -> ExitCode {
             }
             eprint!("{}", map.summary(&program));
             let mut cfg = RtConfig::default().queue_capacity(args.queue_cap);
+            if let Some(policy) = args.batch {
+                // Resolve the policy against the configured capacity, then
+                // let the pipeline map shape it per queue (token queues
+                // stay shallow, unused queues drop to 1).
+                let base = policy.chunk(args.queue_cap);
+                let hints = map.batch_hints(base);
+                eprintln!("batch: base {base}, per-queue {hints:?}");
+                cfg = cfg.queue_batches(hints);
+            }
             if let Some(deadline) = args.deadline {
                 cfg = cfg.deadline(deadline);
             }
@@ -377,19 +427,22 @@ fn main() -> ExitCode {
                     }
                     for (q, s) in r.queues.iter().enumerate().filter(|(_, s)| s.produced > 0) {
                         println!(
-                            "  queue {q}: {} values, max occupancy {}/{}, blocks {}p/{}c",
+                            "  queue {q}: {} values, max occupancy {}/{}, blocks {}p/{}c, \
+                             avg batch {:.1}w/{:.1}r",
                             s.produced,
                             s.max_occupancy,
                             s.capacity,
                             s.producer_blocks,
-                            s.consumer_blocks
+                            s.consumer_blocks,
+                            s.flush_sizes.mean(),
+                            s.refill_sizes.mean()
                         );
                     }
                     print_mem("memory", &r.memory);
                 }
                 Err(e) => {
                     eprintln!("dswpc: native execution failed: {e}");
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(rt_exit_code(&e));
                 }
             }
         }

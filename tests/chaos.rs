@@ -72,9 +72,9 @@ fn transform(w: &Workload) -> (Program, ExecResult) {
     (p, oracle)
 }
 
-/// Runs one workload under `PLANS_PER_WORKLOAD` seeded plans and checks the
-/// invariant for each.
-fn chaos_one(w: &Workload, salt: u64) {
+/// Runs one workload under `plans` seeded plans with the given
+/// communication batch size and checks the invariant for each.
+fn chaos_one(w: &Workload, salt: u64, plans: usize, batch: usize) {
     silence_injected_panics();
     let (program, oracle) = transform(w);
     let num_stages = program.num_threads();
@@ -82,7 +82,7 @@ fn chaos_one(w: &Workload, salt: u64) {
 
     let mut rng = Rng::new(salt ^ 0x0043_4841_4F53); // "CHAOS"
     let (mut benign, mut lethal, mut completed, mut failed) = (0u32, 0u32, 0u32, 0u32);
-    for _ in 0..PLANS_PER_WORKLOAD {
+    for _ in 0..plans {
         let seed = rng.next_u64();
         let plan = FaultPlan::from_seed(seed, num_stages, num_queues);
         if plan.is_benign() {
@@ -92,6 +92,7 @@ fn chaos_one(w: &Workload, salt: u64) {
         }
         let config = RtConfig::default()
             .record_streams(true)
+            .batch(batch)
             .watchdog(CHAOS_WATCHDOG)
             .deadline(CHAOS_DEADLINE)
             .faults(plan.clone());
@@ -158,8 +159,20 @@ fn chaos_one(w: &Workload, salt: u64) {
 fn chaos_chunk(index: usize, total: usize) {
     for (i, w) in paper_suite(Size::Test).iter().enumerate() {
         if i % total == index {
-            chaos_one(w, i as u64);
+            chaos_one(w, i as u64, PLANS_PER_WORKLOAD, 1);
         }
+    }
+}
+
+/// The batched analogue: chunked communication must be invisible to the
+/// chaos invariant too. Every workload runs under 50 fresh seeded plans
+/// with a batch of 16 — faults now land mid-chunk, flushes race poisoning,
+/// and permanent stalls freeze whole chunks, yet the outcome contract is
+/// unchanged.
+#[test]
+fn chaos_differential_batched() {
+    for (i, w) in paper_suite(Size::Test).iter().enumerate() {
+        chaos_one(w, 0xBA7C_0000 ^ i as u64, 50, 16);
     }
 }
 

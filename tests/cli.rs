@@ -118,4 +118,73 @@ fn injected_stage_panic_surfaces_as_structured_error() {
     let err = stderr(&out);
     assert!(err.contains("panicked"), "stderr: {err}");
     assert!(err.contains("injected fault"), "stderr: {err}");
+    // Stage panics get their own documented exit code.
+    assert_eq!(out.status.code(), Some(12), "stderr: {err}");
+}
+
+#[test]
+fn deadlocked_pipeline_exits_with_deadlock_code() {
+    let out = dswpc(&[&fixture("deadlock.ir"), "--run", "native"]);
+    assert_eq!(out.status.code(), Some(10), "stderr: {}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("deadlock"), "stderr: {err}");
+}
+
+#[test]
+fn exceeded_deadline_exits_with_timeout_code() {
+    // Scan seeds for a plan whose only lethal fault is a permanent stall
+    // firing within the pipeline fixture's handful of queue operations.
+    // Under a 400 ms deadline (well below the 2 s default watchdog) the
+    // run must be diagnosed as a timeout, with the timeout exit code.
+    let stall_seed = (0..1_000_000u64)
+        .find(|&s| {
+            let plan = dswp_repro::rt::FaultPlan::from_seed(s, 2, 3);
+            !plan.injects_panic()
+                && !plan.injects_poison()
+                && plan
+                    .stages
+                    .iter()
+                    .any(|st| st.stall.is_some_and(|f| f.permanent && f.every <= 8))
+        })
+        .expect("some seed injects an early permanent stall");
+    let out = dswpc(&[
+        &fixture("pipeline.ir"),
+        "--run",
+        "native",
+        "--chaos",
+        &stall_seed.to_string(),
+        "--deadline",
+        "400",
+    ]);
+    assert_eq!(out.status.code(), Some(14), "stderr: {}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("deadline"), "stderr: {err}");
+}
+
+#[test]
+fn batch_flag_runs_batched_and_preserves_results() {
+    for batch in ["1", "16", "auto"] {
+        let out = dswpc(&[&fixture("pipeline.ir"), "--run", "native", "--batch", batch]);
+        assert!(
+            out.status.success(),
+            "--batch {batch} stderr: {}",
+            stderr(&out)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            stdout.contains("[0]=10"),
+            "--batch {batch} stdout: {stdout}"
+        );
+        let err = stderr(&out);
+        assert!(
+            err.contains("batch: base "),
+            "--batch {batch} stderr: {err}"
+        );
+    }
+}
+
+#[test]
+fn zero_batch_is_a_usage_error() {
+    let out = dswpc(&[&fixture("pipeline.ir"), "--run", "native", "--batch", "0"]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
 }

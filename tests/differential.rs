@@ -80,6 +80,46 @@ fn native_runtime_matches_oracle_on_every_workload() {
     }
 }
 
+/// The same cross-engine agreement must hold with batched communication:
+/// chunked queue publishes are a pure transport optimization, invisible to
+/// every observable. `batch_hints` additionally exercises the per-queue
+/// path (token queues shallow, data queues deep).
+#[test]
+fn batched_native_runtime_matches_oracle_on_every_workload() {
+    for w in paper_suite(Size::Test) {
+        let (transformed, baseline_memory) = transform(&w);
+        let exec = Executor::new(&transformed)
+            .run()
+            .unwrap_or_else(|e| panic!("{}: executor failed: {e}", w.name));
+        let map = PipelineMap::infer(&transformed);
+
+        for batch in [4usize, 16, 64] {
+            for hinted in [false, true] {
+                let mut cfg = RtConfig::default().record_streams(true);
+                cfg = if hinted {
+                    cfg.queue_batches(map.batch_hints(batch))
+                } else {
+                    cfg.batch(batch)
+                };
+                let native = Runtime::new(&transformed)
+                    .with_config(cfg)
+                    .run()
+                    .unwrap_or_else(|e| panic!("{} (batch {batch}, hinted {hinted}): {e}", w.name));
+                let ctx = format!("{} batch {batch}, hinted {hinted}", w.name);
+                assert_eq!(native.memory, baseline_memory, "{ctx}: memory");
+                assert_eq!(native.entry_regs, exec.entry_regs, "{ctx}: entry regs");
+                assert_eq!(
+                    native.streams.as_ref().unwrap(),
+                    &exec.streams,
+                    "{ctx}: queue streams"
+                );
+                let steps: Vec<u64> = native.stages.iter().map(|s| s.steps).collect();
+                assert_eq!(steps, exec.steps, "{ctx}: per-context steps");
+            }
+        }
+    }
+}
+
 #[test]
 fn transformed_workloads_have_valid_pipeline_maps() {
     for w in paper_suite(Size::Test) {

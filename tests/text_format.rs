@@ -94,16 +94,33 @@ fn every_fixture_round_trips() {
                 "{name}: memory changed across round-trip"
             );
         } else {
-            let a = Executor::new(&p1).run().unwrap();
-            let b = Executor::new(&p2).run().unwrap();
-            assert_eq!(
-                a.memory, b.memory,
-                "{name}: memory changed across round-trip"
-            );
-            assert_eq!(
-                a.streams, b.streams,
-                "{name}: streams changed across round-trip"
-            );
+            // Some fixtures (e.g. `deadlock.ir`) fail by design with a
+            // structured error; the round-trip must preserve that outcome
+            // exactly, success or not.
+            match (Executor::new(&p1).run(), Executor::new(&p2).run()) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(
+                        a.memory, b.memory,
+                        "{name}: memory changed across round-trip"
+                    );
+                    assert_eq!(
+                        a.streams, b.streams,
+                        "{name}: streams changed across round-trip"
+                    );
+                }
+                (Err(a), Err(b)) => {
+                    assert_eq!(
+                        format!("{a:?}"),
+                        format!("{b:?}"),
+                        "{name}: error changed across round-trip"
+                    );
+                }
+                (a, b) => panic!(
+                    "{name}: outcome changed across round-trip: {:?} vs {:?}",
+                    a.is_ok(),
+                    b.is_ok()
+                ),
+            }
         }
     }
 }
