@@ -210,8 +210,14 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        let baseline = match json::parse(&text) {
-            Ok(b) => b,
+        // The baseline file is shared with `replicated_speedup`, which owns
+        // every key under `replicated/`; this gate checks only its own
+        // section.
+        let baseline: Vec<(String, f64)> = match json::parse(&text) {
+            Ok(b) => b
+                .into_iter()
+                .filter(|(k, _)| !k.starts_with("replicated/"))
+                .collect(),
             Err(e) => {
                 eprintln!("batched_speedup: {path}: {e}");
                 return ExitCode::FAILURE;
@@ -263,11 +269,18 @@ fn main() -> ExitCode {
     }
     println!("wrote {out_path}");
     if let Some(path) = update_path {
-        if let Err(e) = std::fs::write(&path, &rendered) {
+        // Rewrite only this binary's section; `replicated_speedup` owns the
+        // keys under `replicated/`.
+        let existing = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|t| json::parse(&t).ok())
+            .unwrap_or_default();
+        let merged = json::replace_section(&existing, |k| !k.starts_with("replicated/"), &pairs);
+        if let Err(e) = std::fs::write(&path, json::emit(&merged)) {
             eprintln!("batched_speedup: cannot write {path}: {e}");
             return ExitCode::FAILURE;
         }
-        println!("updated baseline {path}");
+        println!("updated baseline {path} ({} keys total)", merged.len());
     }
     if gate_failed {
         ExitCode::FAILURE

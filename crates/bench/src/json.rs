@@ -78,6 +78,36 @@ pub fn parse(text: &str) -> Result<Vec<(String, f64)>, String> {
     Ok(pairs)
 }
 
+/// Replaces one namespace of a flat baseline with fresh pairs, preserving
+/// every key outside it. The new section is spliced where the old one
+/// first appeared (appended when the namespace was absent), so a committed
+/// baseline keeps a stable layout across partial updates — `batched_speedup`
+/// owns every key outside `replicated/`, `replicated_speedup` owns the keys
+/// inside it, and neither clobbers the other's section on
+/// `--update-baseline`.
+pub fn replace_section(
+    existing: &[(String, f64)],
+    belongs: impl Fn(&str) -> bool,
+    pairs: &[(String, f64)],
+) -> Vec<(String, f64)> {
+    let mut out = Vec::with_capacity(existing.len() + pairs.len());
+    let mut spliced = false;
+    for (k, v) in existing {
+        if belongs(k) {
+            if !spliced {
+                out.extend(pairs.iter().cloned());
+                spliced = true;
+            }
+        } else {
+            out.push((k.clone(), *v));
+        }
+    }
+    if !spliced {
+        out.extend(pairs.iter().cloned());
+    }
+    out
+}
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,

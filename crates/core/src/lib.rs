@@ -84,6 +84,7 @@ pub mod estimate;
 pub mod normalize;
 pub mod partition;
 pub mod pipeline;
+pub mod replicate;
 pub mod schedule;
 pub mod stage_map;
 pub mod transform;
@@ -99,7 +100,11 @@ pub use pipeline::{
     analyze_loop, annotate_loop_affine, dswp_loop, loop_stats, select_loop, DswpOptions,
     DswpReport, LoopAnalysis, LoopStats,
 };
+pub use replicate::{replicable_stages, replicate_stage, Replicate, ReplicationInfo};
 pub use schedule::{schedule_function, schedule_program, ScheduleStats};
-pub use stage_map::{PipelineMap, PipelineMapError, QueueEndpoints, QueueKind, StageInfo};
+pub use stage_map::{
+    PipelineMap, PipelineMapError, QueueEndpoints, QueueKind, ReplicaGroup, StageInfo, StageRole,
+    Tuner,
+};
 pub use transform::{apply_dswp, DswpArtifacts, FlowStats};
 pub use unroll::{unroll_counted, unroll_loop};

@@ -21,9 +21,11 @@ use dswp_ir::{BlockId, FuncId, LatencyTable, Program};
 use dswp_analysis::{build_pdg, find_loops, AliasMode, DagScc, Liveness, PdgOptions};
 
 use crate::error::DswpError;
-use crate::estimate::{estimated_speedup, scc_costs};
+use crate::estimate::{estimated_speedup, scc_costs, stage_times};
 use crate::normalize::normalize_loop;
 use crate::partition::{tpp_heuristic, Partitioning, TppOptions};
+use crate::replicate::{replicable_stages, replicate_stage, Replicate, ReplicationInfo};
+use crate::stage_map::Tuner;
 use crate::transform::{apply_dswp, DswpArtifacts};
 
 /// Options for the DSWP driver.
@@ -40,6 +42,11 @@ pub struct DswpOptions {
     /// Caller-specified partitioning, bypassing the heuristic and the
     /// profitability gate (used by the manual/iterative search).
     pub partitioning: Option<Partitioning>,
+    /// Parallel-stage replication request (see [`crate::replicate`]). The
+    /// heaviest replicable stage is replicated after the split; when no
+    /// stage is legal (or structurally eligible) the pipeline is left
+    /// unreplicated and [`DswpReport::replication`] is `None`.
+    pub replicate: Replicate,
 }
 
 impl Default for DswpOptions {
@@ -50,6 +57,7 @@ impl Default for DswpOptions {
             min_speedup: 1.01,
             latency: LatencyTable::default(),
             partitioning: None,
+            replicate: Replicate::Off,
         }
     }
 }
@@ -71,6 +79,9 @@ pub struct DswpReport {
     pub estimated_speedup: f64,
     /// Split artifacts: flow counts, auxiliary/master functions, queues.
     pub artifacts: DswpArtifacts,
+    /// What parallel-stage replication did, if it was requested *and*
+    /// applied (`None` when off, not legal, or not structurally eligible).
+    pub replication: Option<ReplicationInfo>,
 }
 
 /// Structural statistics of a candidate loop (without transforming it) —
@@ -272,6 +283,40 @@ pub fn dswp_loop(
         return Err(DswpError::NotProfitable);
     }
 
+    // Replication plan (decided before the split mutates the function:
+    // legality and the stage-time estimate both need the pre-split PDG).
+    let repl_plan = match opts.replicate {
+        Replicate::Off => None,
+        _ => {
+            let replicable = replicable_stages(f, &pdg, &dag, &partitioning, opts.alias);
+            let times = stage_times(
+                f,
+                func,
+                &pdg,
+                &dag,
+                &partitioning,
+                &costs,
+                profile,
+                opts.latency.queue,
+            );
+            match opts.replicate {
+                Replicate::Off => None,
+                Replicate::Fixed(k) if k >= 2 => (0..partitioning.num_threads)
+                    .filter(|&t| replicable[t])
+                    .max_by(|&a, &b| times[a].total_cmp(&times[b]))
+                    .map(|t| (t, k)),
+                Replicate::Fixed(_) => None,
+                Replicate::Auto { cores } => {
+                    let tuner = match cores {
+                        Some(c) => Tuner::with_cores(c),
+                        None => Tuner::detect(),
+                    };
+                    tuner.replica_plan(&times, &replicable)
+                }
+            }
+        }
+    };
+
     // Split.
     let loop_instrs: usize = l
         .blocks
@@ -280,6 +325,9 @@ pub fn dswp_loop(
         .sum();
     let loop_blocks = l.blocks.len();
     let artifacts = apply_dswp(program, func, &norm, &l, &pdg, &dag, &partitioning)?;
+    let replication = repl_plan.and_then(|(t, k)| {
+        replicate_stage(program, func, &norm, artifacts.aux_functions[t - 1], t, k)
+    });
     Ok(DswpReport {
         loop_header: header,
         loop_blocks,
@@ -288,6 +336,7 @@ pub fn dswp_loop(
         partitioning,
         estimated_speedup: est,
         artifacts,
+        replication,
     })
 }
 

@@ -310,23 +310,97 @@ impl PipelineMap {
     }
 
     /// Per-queue communication batch (chunk) sizes for a requested base
-    /// batch, one entry per queue id.
-    ///
-    /// Data and mixed queues get the full `batch`; token queues are capped
-    /// at 4 (a token's whole job is to release a waiting peer — sitting on
-    /// a deep chunk of them only defers that); unused queues get 1. The
-    /// result plugs straight into the native runtime's per-queue batch
-    /// override.
+    /// batch, one entry per queue id. Delegates to
+    /// [`Tuner::queue_batches`]; kept as a method for convenience.
     pub fn batch_hints(&self, batch: usize) -> Vec<usize> {
-        let batch = batch.max(1);
-        self.queues
+        Tuner::detect().queue_batches(self, batch)
+    }
+
+    /// The role each hardware context plays, recovered from the
+    /// transformation's function-naming convention (`dswp.master{t}`,
+    /// `dswp.master{t}.r{r}`, `dswp.master{t}.g`, `dswp.scatter{t}`).
+    pub fn roles(&self, program: &Program) -> Vec<StageRole> {
+        self.stages
             .iter()
-            .map(|ep| match ep.kind {
-                QueueKind::Data | QueueKind::Mixed => batch,
-                QueueKind::Token => batch.clamp(1, 4),
-                QueueKind::Unused => 1,
+            .enumerate()
+            .map(|(i, stage)| {
+                if i == 0 {
+                    return StageRole::Main;
+                }
+                let name = &program.function(stage.entry).name;
+                let Some(rest) = name.strip_prefix("dswp.master") else {
+                    return StageRole::Stage(i);
+                };
+                let mut parts = rest.splitn(2, '.');
+                let Some(Ok(t)) = parts.next().map(str::parse::<usize>) else {
+                    return StageRole::Stage(i);
+                };
+                match parts.next() {
+                    None => {
+                        let scatter = format!("dswp.scatter{t}");
+                        if stage
+                            .functions
+                            .iter()
+                            .any(|&f| program.function(f).name == scatter)
+                        {
+                            StageRole::Scatter(t)
+                        } else {
+                            StageRole::Stage(t)
+                        }
+                    }
+                    Some("g") => StageRole::Gather(t),
+                    Some(r) => match r.strip_prefix('r').and_then(|s| s.parse().ok()) {
+                        Some(index) => StageRole::Replica { stage: t, index },
+                        None => StageRole::Stage(t),
+                    },
+                }
             })
             .collect()
+    }
+
+    /// Groups the contexts belonging to each replicated stage: the scatter
+    /// context, the replica contexts (in round-robin order), the optional
+    /// gather context, and the queue sets the scatter feeds / the gather
+    /// drains. Empty when the program is unreplicated.
+    pub fn replica_groups(&self, program: &Program) -> Vec<ReplicaGroup> {
+        let roles = self.roles(program);
+        let mut groups: BTreeMap<usize, ReplicaGroup> = BTreeMap::new();
+        fn group(groups: &mut BTreeMap<usize, ReplicaGroup>, stage: usize) -> &mut ReplicaGroup {
+            groups.entry(stage).or_insert_with(|| ReplicaGroup {
+                stage,
+                scatter_thread: 0,
+                replica_threads: Vec::new(),
+                gather_thread: None,
+                scatter_queues: Vec::new(),
+                gather_queues: Vec::new(),
+            })
+        }
+        for (i, role) in roles.iter().enumerate() {
+            match *role {
+                StageRole::Scatter(t) => group(&mut groups, t).scatter_thread = i,
+                StageRole::Replica { stage, index } => {
+                    let g = group(&mut groups, stage);
+                    g.replica_threads.push(i);
+                    debug_assert_eq!(g.replica_threads.len() - 1, index);
+                }
+                StageRole::Gather(t) => group(&mut groups, t).gather_thread = Some(i),
+                StageRole::Main | StageRole::Stage(_) => {}
+            }
+        }
+        let mut out: Vec<ReplicaGroup> = groups.into_values().collect();
+        for g in &mut out {
+            for (q, ep) in self.queues.iter().enumerate() {
+                if ep.producers == [g.scatter_thread] {
+                    g.scatter_queues.push(q);
+                }
+                if let Some(gt) = g.gather_thread {
+                    if ep.consumers == [gt] {
+                        g.gather_queues.push(q);
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// Human-readable one-line-per-item summary (used by `dswpc`).
@@ -359,6 +433,141 @@ impl PipelineMap {
             );
         }
         out
+    }
+}
+
+/// What a hardware context does in a (possibly replicated) pipeline,
+/// recovered by [`PipelineMap::roles`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StageRole {
+    /// Context 0: the original function with the stage-0 loop spliced in.
+    Main,
+    /// An ordinary pipeline stage's master context.
+    Stage(usize),
+    /// The round-robin scatter of a replicated stage (runs on the stage's
+    /// original master context).
+    Scatter(usize),
+    /// One replica of a replicated stage.
+    Replica {
+        /// The replicated stage.
+        stage: usize,
+        /// Round-robin position among the stage's replicas.
+        index: usize,
+    },
+    /// The in-order gather of a replicated stage.
+    Gather(usize),
+}
+
+/// The contexts and queue sets of one replicated stage (see
+/// [`PipelineMap::replica_groups`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReplicaGroup {
+    /// The replicated stage (its index in the unreplicated pipeline).
+    pub stage: usize,
+    /// Context running the scatter.
+    pub scatter_thread: usize,
+    /// Contexts running the replicas, in round-robin order.
+    pub replica_threads: Vec<usize>,
+    /// Context running the gather, when the stage feeds later stages.
+    pub gather_thread: Option<usize>,
+    /// Queues produced (only) by the scatter: the per-replica instance
+    /// queues plus the gather's iteration-tag control queue.
+    pub scatter_queues: Vec<usize>,
+    /// Queues consumed (only) by the gather: the per-replica instances of
+    /// the stage's downstream queues plus the control queue.
+    pub gather_queues: Vec<usize>,
+}
+
+impl ReplicaGroup {
+    /// Every context belonging to the group, scatter first, gather last.
+    pub fn threads(&self) -> Vec<usize> {
+        let mut v = vec![self.scatter_thread];
+        v.extend(&self.replica_threads);
+        v.extend(self.gather_thread);
+        v
+    }
+}
+
+/// Shared tuning knobs for the runtime hints derived from a
+/// [`PipelineMap`]: `--batch auto` and `--replicate auto` both consult one
+/// `Tuner` instead of each walking the map with private policy.
+#[derive(Clone, Copy, Debug)]
+pub struct Tuner {
+    /// Hardware threads assumed available.
+    pub cores: usize,
+    /// Upper bound on replicas per stage regardless of core count.
+    pub max_replicas: usize,
+}
+
+impl Tuner {
+    /// Default cap on replicas per stage.
+    pub const DEFAULT_MAX_REPLICAS: usize = 8;
+
+    /// A tuner for an assumed number of hardware threads.
+    pub fn with_cores(cores: usize) -> Self {
+        Tuner {
+            cores,
+            max_replicas: Self::DEFAULT_MAX_REPLICAS,
+        }
+    }
+
+    /// A tuner for the detected hardware
+    /// ([`std::thread::available_parallelism`], 1 when unknown).
+    pub fn detect() -> Self {
+        Self::with_cores(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+    }
+
+    /// Per-queue communication batch (chunk) sizes for a requested base
+    /// batch, one entry per queue id.
+    ///
+    /// Data and mixed queues get the full `batch`; token queues are capped
+    /// at 4 (a token's whole job is to release a waiting peer — sitting on
+    /// a deep chunk of them only defers that); unused queues get 1. The
+    /// result plugs straight into the native runtime's per-queue batch
+    /// override.
+    pub fn queue_batches(&self, map: &PipelineMap, batch: usize) -> Vec<usize> {
+        let batch = batch.max(1);
+        map.queues
+            .iter()
+            .map(|ep| match ep.kind {
+                QueueKind::Data | QueueKind::Mixed => batch,
+                QueueKind::Token => batch.clamp(1, 4),
+                QueueKind::Unused => 1,
+            })
+            .collect()
+    }
+
+    /// Picks `(stage, replicas)` for `--replicate auto` from the static
+    /// per-stage time estimate: the heaviest replicable stage, replicated
+    /// just enough that its per-iteration cost drops below the
+    /// next-slowest stage's, capped by `cores` and
+    /// [`max_replicas`](Self::max_replicas). `None` when no replicable
+    /// stage is the bottleneck or fewer than 2 cores are assumed.
+    pub fn replica_plan(&self, stage_times: &[f64], replicable: &[bool]) -> Option<(usize, usize)> {
+        if self.cores < 2 {
+            return None;
+        }
+        let cap = self.cores.min(self.max_replicas).max(2);
+        let t = (0..stage_times.len())
+            .filter(|&t| replicable.get(t).copied().unwrap_or(false))
+            .max_by(|&a, &b| stage_times[a].total_cmp(&stage_times[b]))?;
+        let next = stage_times
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != t)
+            .map(|(_, &x)| x)
+            .fold(0.0_f64, f64::max);
+        if stage_times[t] <= next {
+            return None;
+        }
+        let k = (2..=cap)
+            .find(|&k| stage_times[t] / k as f64 <= next)
+            .unwrap_or(cap);
+        Some((t, k))
     }
 }
 

@@ -108,6 +108,34 @@ impl BatchHistogram {
     }
 }
 
+/// Statistics written only by the producer endpoint, grouped onto their own
+/// cache line(s). Before this grouping, `producer_blocks` and
+/// `consumer_blocks` sat adjacent in the struct: a producer stalling on a
+/// full queue and a consumer stalling on an empty one would ping-pong the
+/// same line between cores on every failed attempt — false sharing on the
+/// *statistics*, precisely the effect the padded cursors already avoid on
+/// the transfer path.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct ProducerStats {
+    /// Maximum observed occupancy (updated on publish).
+    max_occupancy: AtomicUsize,
+    /// Times the producer found the queue full.
+    blocks: AtomicU64,
+    /// Sizes of successful producer-side publishes (batched or single).
+    flush_hist: Histo,
+}
+
+/// Statistics written only by the consumer endpoint (see [`ProducerStats`]).
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct ConsumerStats {
+    /// Times the consumer found the queue empty.
+    blocks: AtomicU64,
+    /// Sizes of successful consumer-side acquires (batched or single).
+    refill_hist: Histo,
+}
+
 /// A bounded SPSC queue of `i64` words.
 #[derive(Debug)]
 pub struct SpscQueue {
@@ -117,16 +145,10 @@ pub struct SpscQueue {
     head: CacheLine<AtomicUsize>,
     /// Producer cursor: number of values produced so far.
     tail: CacheLine<AtomicUsize>,
-    /// Maximum observed occupancy.
-    max_occupancy: AtomicUsize,
-    /// Times the producer found the queue full.
-    pub(crate) producer_blocks: AtomicU64,
-    /// Times the consumer found the queue empty.
-    pub(crate) consumer_blocks: AtomicU64,
-    /// Sizes of successful producer-side publishes (batched or single).
-    flush_hist: Histo,
-    /// Sizes of successful consumer-side acquires (batched or single).
-    refill_hist: Histo,
+    /// Producer-endpoint statistics, on their own cache line(s).
+    producer: ProducerStats,
+    /// Consumer-endpoint statistics, on their own cache line(s).
+    consumer: ConsumerStats,
     /// Produced-value log (only filled when stream recording is on).
     stream: Mutex<Vec<i64>>,
     record_stream: bool,
@@ -172,11 +194,8 @@ impl SpscQueue {
             capacity,
             head: CacheLine(AtomicUsize::new(0)),
             tail: CacheLine(AtomicUsize::new(0)),
-            max_occupancy: AtomicUsize::new(0),
-            producer_blocks: AtomicU64::new(0),
-            consumer_blocks: AtomicU64::new(0),
-            flush_hist: Histo::default(),
-            refill_hist: Histo::default(),
+            producer: ProducerStats::default(),
+            consumer: ConsumerStats::default(),
             stream: Mutex::new(Vec::new()),
             record_stream,
             poisoned: AtomicBool::new(false),
@@ -194,6 +213,16 @@ impl SpscQueue {
     /// Whether [`poison`](Self::poison) was called.
     pub fn is_poisoned(&self) -> bool {
         self.poisoned.load(Ordering::Acquire)
+    }
+
+    /// Counts one blocked produce attempt (called from the producer thread).
+    pub(crate) fn count_producer_block(&self) {
+        self.producer.blocks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one blocked consume attempt (called from the consumer thread).
+    pub(crate) fn count_consumer_block(&self) {
+        self.consumer.blocks.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Attempts to enqueue a prefix of `vals`, publishing however many fit
@@ -220,10 +249,11 @@ impl SpscQueue {
         }
         self.tail.0.store(tail.wrapping_add(n), Ordering::Release);
         // Only the producer writes this; load+store beats an RMW.
-        if occ + n > self.max_occupancy.load(Ordering::Relaxed) {
-            self.max_occupancy.store(occ + n, Ordering::Relaxed);
+        let max = &self.producer.max_occupancy;
+        if occ + n > max.load(Ordering::Relaxed) {
+            max.store(occ + n, Ordering::Relaxed);
         }
-        self.flush_hist.record(n);
+        self.producer.flush_hist.record(n);
         if self.record_stream {
             // Poison-tolerant: a stage that crashed mid-push must not take
             // the survivors down with a second panic.
@@ -257,7 +287,7 @@ impl SpscQueue {
             out.push(unsafe { *self.slots[head.wrapping_add(i) % self.capacity].get() });
         }
         self.head.0.store(head.wrapping_add(n), Ordering::Release);
-        self.refill_hist.record(n);
+        self.consumer.refill_hist.record(n);
         n
     }
 
@@ -280,7 +310,7 @@ impl SpscQueue {
         // release store of `head` below.
         let v = unsafe { *self.slots[head % self.capacity].get() };
         self.head.0.store(head.wrapping_add(1), Ordering::Release);
-        self.refill_hist.record(1);
+        self.consumer.refill_hist.record(1);
         Some(v)
     }
 
@@ -307,11 +337,11 @@ impl SpscQueue {
             capacity: self.capacity,
             produced: self.tail.0.load(Ordering::Acquire) as u64,
             consumed: self.head.0.load(Ordering::Acquire) as u64,
-            max_occupancy: self.max_occupancy.load(Ordering::Relaxed),
-            producer_blocks: self.producer_blocks.load(Ordering::Relaxed),
-            consumer_blocks: self.consumer_blocks.load(Ordering::Relaxed),
-            flush_sizes: self.flush_hist.snapshot(),
-            refill_sizes: self.refill_hist.snapshot(),
+            max_occupancy: self.producer.max_occupancy.load(Ordering::Relaxed),
+            producer_blocks: self.producer.blocks.load(Ordering::Relaxed),
+            consumer_blocks: self.consumer.blocks.load(Ordering::Relaxed),
+            flush_sizes: self.producer.flush_hist.snapshot(),
+            refill_sizes: self.consumer.refill_hist.snapshot(),
         }
     }
 

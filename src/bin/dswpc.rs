@@ -24,6 +24,12 @@
 //!   --batch N|auto         native communication batch: values per queue
 //!                          publish (`auto` derives it from the capacity;
 //!                          token queues are capped low; default 1)
+//!   --replicate N|auto     replicate the heaviest DOALL stage N ways
+//!                          (`auto` sizes the replica count from the stage
+//!                          cost estimate and the available cores; requires
+//!                          `--dswp --alias precise`)
+//!   --spin SPINS,YIELDS    native blocked-queue backoff: busy-spin then
+//!                          yield iterations before parking (default 64,32)
 //!   --chaos SEED           run `--run native` under the seeded fault plan
 //!                          (delays, stalls, forced panics, poisoning)
 //!   --deadline MS          hard wall-clock deadline for `--run native`;
@@ -43,7 +49,7 @@ use dswp_repro::analysis::{AliasMode, DagScc};
 use dswp_repro::dswp::PipelineMap;
 use dswp_repro::dswp::{
     analyze_loop, annotate_loop_affine, dswp_loop, loop_stats, select_loop, unroll_loop,
-    DswpOptions,
+    DswpOptions, Replicate,
 };
 use dswp_repro::ir::interp::Interpreter;
 use dswp_repro::ir::verify::verify_program;
@@ -72,6 +78,8 @@ struct Args {
     run: Option<RunMode>,
     queue_cap: usize,
     batch: Option<BatchPolicy>,
+    replicate: Replicate,
+    spin: Option<(u32, u32)>,
     chaos: Option<u64>,
     deadline: Option<std::time::Duration>,
 }
@@ -99,7 +107,8 @@ fn usage() -> ! {
          [--alias conservative|region|precise] [--threads N] [--stats] \
          [--dot FILE] [--emit FILE] [--sim [full|half]] [--comm N] \
          [--run [functional|native]] [--queue-cap N] [--batch N|auto] \
-         [--chaos SEED] [--deadline MS]"
+         [--replicate N|auto] [--spin SPINS,YIELDS] [--chaos SEED] \
+         [--deadline MS]"
     );
     std::process::exit(2);
 }
@@ -120,6 +129,8 @@ fn parse_args() -> Args {
         run: None,
         queue_cap: 32,
         batch: None,
+        replicate: Replicate::Off,
+        spin: None,
         chaos: None,
         deadline: None,
     };
@@ -159,6 +170,26 @@ fn parse_args() -> Args {
                     ),
                     None => usage(),
                 });
+            }
+            "--replicate" => {
+                args.replicate = match it.next().as_deref() {
+                    Some("auto") => Replicate::Auto { cores: None },
+                    Some(v) => Replicate::Fixed(
+                        v.parse::<usize>()
+                            .ok()
+                            .filter(|&n| n >= 1)
+                            .unwrap_or_else(|| usage()),
+                    ),
+                    None => usage(),
+                };
+            }
+            "--spin" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                let (s, y) = v.split_once(',').unwrap_or_else(|| usage());
+                args.spin = Some((
+                    s.parse::<u32>().unwrap_or_else(|_| usage()),
+                    y.parse::<u32>().unwrap_or_else(|_| usage()),
+                ));
             }
             "--chaos" => {
                 args.chaos = Some(
@@ -338,21 +369,46 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
+            if args.replicate != Replicate::Off && args.alias != AliasMode::Precise {
+                eprintln!(
+                    "dswpc: warning: replication needs `--alias precise` to prove \
+                     iterations independent; stages will not replicate"
+                );
+            }
             let opts = DswpOptions {
                 alias: args.alias,
                 max_threads: args.threads,
+                replicate: args.replicate,
                 ..DswpOptions::default()
             };
             match dswp_loop(&mut program, main_fn, header, &profile, &opts) {
-                Ok(report) => eprintln!(
-                    "DSWP: {} SCCs -> {} stages, flows {}i/{}l/{}f, est. speedup {:.2}x",
-                    report.num_sccs,
-                    report.partitioning.num_threads,
-                    report.artifacts.flows.initial,
-                    report.artifacts.flows.loop_flows,
-                    report.artifacts.flows.final_flows,
-                    report.estimated_speedup
-                ),
+                Ok(report) => {
+                    eprintln!(
+                        "DSWP: {} SCCs -> {} stages, flows {}i/{}l/{}f, est. speedup {:.2}x",
+                        report.num_sccs,
+                        report.partitioning.num_threads,
+                        report.artifacts.flows.initial,
+                        report.artifacts.flows.loop_flows,
+                        report.artifacts.flows.final_flows,
+                        report.estimated_speedup
+                    );
+                    match (&report.replication, args.replicate) {
+                        (Some(info), _) => eprintln!(
+                            "replicate: stage {} x{} ({} new queue(s), {} new thread(s){})",
+                            info.stage,
+                            info.replicas,
+                            info.new_queues,
+                            info.new_threads,
+                            if info.gather.is_some() {
+                                ", gathered"
+                            } else {
+                                ""
+                            }
+                        ),
+                        (None, Replicate::Off) => {}
+                        (None, _) => eprintln!("replicate: no stage eligible"),
+                    }
+                }
                 Err(e) => {
                     eprintln!("dswpc: DSWP declined: {e}");
                     return ExitCode::FAILURE;
@@ -399,6 +455,9 @@ fn main() -> ExitCode {
                 eprintln!("batch: base {base}, per-queue {hints:?}");
                 cfg = cfg.queue_batches(hints);
             }
+            if let Some((spins, yields)) = args.spin {
+                cfg = cfg.spin(spins, yields);
+            }
             if let Some(deadline) = args.deadline {
                 cfg = cfg.deadline(deadline);
             }
@@ -416,13 +475,50 @@ fn main() -> ExitCode {
                         r.elapsed.as_secs_f64() * 1e3,
                         r.stages.len()
                     );
+                    let roles = map.roles(&program);
                     for (i, s) in r.stages.iter().enumerate() {
+                        let role = match roles.get(i) {
+                            Some(dswp_repro::dswp::StageRole::Scatter(t)) => {
+                                format!(" [scatter {t}]")
+                            }
+                            Some(dswp_repro::dswp::StageRole::Replica { stage, index }) => {
+                                format!(" [stage {stage} replica {index}]")
+                            }
+                            Some(dswp_repro::dswp::StageRole::Gather(t)) => {
+                                format!(" [gather {t}]")
+                            }
+                            _ => String::new(),
+                        };
                         println!(
-                            "  stage {i}: {} steps, {:.3} ms wall ({:.3} ms blocked){}",
+                            "  stage {i}: {} steps, {:.3} ms wall ({:.3} ms blocked){}{role}",
                             s.steps,
                             s.wall.as_secs_f64() * 1e3,
                             s.blocked.as_secs_f64() * 1e3,
                             if s.parked { ", parked" } else { "" }
+                        );
+                    }
+                    // Per-replica-group rollup: total throughput of the
+                    // replicated stage and how evenly it spread.
+                    for g in map.replica_groups(&program) {
+                        let steps: Vec<u64> = g
+                            .replica_threads
+                            .iter()
+                            .filter_map(|&t| r.stages.get(t).map(|s| s.steps))
+                            .collect();
+                        let total: u64 = steps.iter().sum();
+                        let blocked: f64 = g
+                            .replica_threads
+                            .iter()
+                            .filter_map(|&t| r.stages.get(t).map(|s| s.blocked.as_secs_f64()))
+                            .sum();
+                        println!(
+                            "  replicas of stage {}: {} thread(s), {} steps total \
+                             (per replica {:?}), {:.3} ms blocked across replicas",
+                            g.stage,
+                            g.replica_threads.len(),
+                            total,
+                            steps,
+                            blocked * 1e3
                         );
                     }
                     for (q, s) in r.queues.iter().enumerate().filter(|(_, s)| s.produced > 0) {

@@ -75,8 +75,22 @@ fn transform(w: &Workload) -> (Program, ExecResult) {
 /// Runs one workload under `plans` seeded plans with the given
 /// communication batch size and checks the invariant for each.
 fn chaos_one(w: &Workload, salt: u64, plans: usize, batch: usize) {
-    silence_injected_panics();
     let (program, oracle) = transform(w);
+    chaos_run(w.name, &program, &oracle, salt, plans, batch);
+}
+
+/// The invariant check proper, over an already-transformed program and its
+/// functional-executor oracle (lets callers pick non-default DSWP options,
+/// e.g. replication).
+fn chaos_run(
+    name: &str,
+    program: &Program,
+    oracle: &ExecResult,
+    salt: u64,
+    plans: usize,
+    batch: usize,
+) {
+    silence_injected_panics();
     let num_stages = program.num_threads();
     let num_queues = program.num_queues as usize;
 
@@ -97,32 +111,28 @@ fn chaos_one(w: &Workload, salt: u64, plans: usize, batch: usize) {
             .deadline(CHAOS_DEADLINE)
             .faults(plan.clone());
 
-        match Runtime::new(&program).with_config(config).run() {
+        match Runtime::new(program).with_config(config).run() {
             Ok(r) => {
                 // Completion — with or without a (never-fired) lethal fault
                 // — must be indistinguishable from the clean run.
                 completed += 1;
                 assert_eq!(
                     r.memory, oracle.memory,
-                    "{}: memory diverged under {plan}",
-                    w.name
+                    "{name}: memory diverged under {plan}"
                 );
                 assert_eq!(
                     r.entry_regs, oracle.entry_regs,
-                    "{}: entry regs diverged under {plan}",
-                    w.name
+                    "{name}: entry regs diverged under {plan}"
                 );
                 assert_eq!(
                     r.streams.as_ref().expect("streams recorded"),
                     &oracle.streams,
-                    "{}: streams diverged under {plan}",
-                    w.name
+                    "{name}: streams diverged under {plan}"
                 );
                 let steps: Vec<u64> = r.stages.iter().map(|s| s.steps).collect();
                 assert_eq!(
                     steps, oracle.steps,
-                    "{}: step counts diverged under {plan}",
-                    w.name
+                    "{name}: step counts diverged under {plan}"
                 );
             }
             Err(e) => {
@@ -137,7 +147,7 @@ fn chaos_one(w: &Workload, salt: u64, plans: usize, batch: usize) {
                     }
                     _ => false,
                 };
-                assert!(consistent, "{}: error {e} not explained by {plan}", w.name);
+                assert!(consistent, "{name}: error {e} not explained by {plan}");
             }
         }
     }
@@ -145,12 +155,11 @@ fn chaos_one(w: &Workload, salt: u64, plans: usize, batch: usize) {
     // Distribution sanity: the generator must exercise both sides, and a
     // benign plan can never fail (checked per-run above), so failures are
     // bounded by lethal plans.
-    assert!(benign > 0 && lethal > 0, "{}: degenerate seeding", w.name);
-    assert!(completed > 0, "{}: no run completed", w.name);
+    assert!(benign > 0 && lethal > 0, "{name}: degenerate seeding");
+    assert!(completed > 0, "{name}: no run completed");
     assert!(
         failed <= lethal,
-        "{}: {failed} failures from {lethal} lethal plans",
-        w.name
+        "{name}: {failed} failures from {lethal} lethal plans",
     );
 }
 
@@ -194,4 +203,50 @@ fn chaos_differential_chunk_2() {
 #[test]
 fn chaos_differential_chunk_3() {
     chaos_chunk(3, 4);
+}
+
+/// Replication under chaos: each workload whose heaviest stage legally
+/// replicates (compress, jpegenc) runs its replicated pipeline under 50
+/// fresh seeded fault plans. Scatter, replicas, and gather are ordinary
+/// stages to the fault injector — panics poison their queues, stalls
+/// freeze one replica while its siblings keep draining — and the outcome
+/// contract is unchanged: bit-identical results or a structured,
+/// attributable error.
+#[test]
+fn chaos_differential_replicated() {
+    use dswp_repro::analysis::AliasMode;
+    use dswp_repro::dswp::{annotate_loop_affine, Replicate};
+
+    let mut replicated = 0;
+    for (i, w) in paper_suite(Size::Test).iter().enumerate() {
+        let baseline = Interpreter::new(&w.program)
+            .run()
+            .unwrap_or_else(|e| panic!("{}: baseline failed: {e}", w.name));
+        let mut p = w.program.clone();
+        let main = p.main();
+        annotate_loop_affine(&mut p, main, w.header)
+            .unwrap_or_else(|e| panic!("{}: scev failed: {e}", w.name));
+        let opts = DswpOptions {
+            alias: AliasMode::Precise,
+            replicate: Replicate::Fixed(2),
+            ..DswpOptions::default()
+        };
+        let Ok(report) = dswp_loop(&mut p, main, w.header, &baseline.profile, &opts) else {
+            continue;
+        };
+        if report.replication.is_none() {
+            continue;
+        }
+        replicated += 1;
+        let oracle = Executor::new(&p)
+            .run()
+            .unwrap_or_else(|e| panic!("{}: oracle failed: {e}", w.name));
+        assert_eq!(
+            oracle.memory, baseline.memory,
+            "{}: oracle diverges from interpreter",
+            w.name
+        );
+        chaos_run(w.name, &p, &oracle, 0x5EB1_0000 ^ i as u64, 50, 1);
+    }
+    assert!(replicated >= 2, "only {replicated} workloads replicated");
 }

@@ -188,3 +188,42 @@ fn zero_batch_is_a_usage_error() {
     let out = dswpc(&[&fixture("pipeline.ir"), "--run", "native", "--batch", "0"]);
     assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
 }
+
+#[test]
+fn replicated_pipeline_runs_natively_with_correct_memory() {
+    let out = dswpc(&[
+        &fixture("doall.ir"),
+        "--dswp",
+        "--alias",
+        "precise",
+        "--replicate",
+        "2",
+        "--spin",
+        "16,8",
+        "--run",
+        "native",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("replicate: stage 1 x2"), "stderr: {err}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // out[0] = (3*3 + 1) ^ (3 >> 1) = 10 ^ 1 = 11, stored at word 8.
+    assert!(stdout.contains("[8]=11"), "stdout: {stdout}");
+    assert!(
+        stdout.contains("replicas of stage 1: 2 thread(s)"),
+        "stdout: {stdout}"
+    );
+}
+
+#[test]
+fn bad_replicate_and_spin_arguments_exit_with_usage() {
+    for args in [
+        vec![fixture("doall.ir"), "--replicate".into(), "0".into()],
+        vec![fixture("doall.ir"), "--spin".into(), "64".into()],
+        vec![fixture("doall.ir"), "--spin".into(), "a,b".into()],
+    ] {
+        let argv: Vec<&str> = args.iter().map(String::as_str).collect();
+        let out = dswpc(&argv);
+        assert_eq!(out.status.code(), Some(2), "args: {args:?}");
+    }
+}

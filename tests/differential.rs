@@ -175,3 +175,56 @@ fn differential_holds_for_a_three_stage_pipeline() {
     assert_eq!(native.streams.unwrap(), exec.streams);
     assert_eq!(native.stages.len(), 3);
 }
+
+/// The full cross-engine agreement must also hold with a replicated
+/// pipeline stage, at a fixed replica count and under the auto tuner —
+/// the gather stage's in-order merge makes replication observably
+/// invisible, down to the queue streams of every pre-existing queue.
+#[test]
+fn replicated_pipelines_match_oracle_on_every_workload() {
+    use dswp_repro::analysis::AliasMode;
+    use dswp_repro::dswp::{annotate_loop_affine, Replicate};
+
+    for replicate in [Replicate::Fixed(2), Replicate::Auto { cores: Some(4) }] {
+        for w in paper_suite(Size::Test) {
+            let baseline = Interpreter::new(&w.program)
+                .run()
+                .unwrap_or_else(|e| panic!("{}: baseline failed: {e}", w.name));
+            let mut p = w.program.clone();
+            let main = p.main();
+            annotate_loop_affine(&mut p, main, w.header)
+                .unwrap_or_else(|e| panic!("{}: scev failed: {e}", w.name));
+            let opts = DswpOptions {
+                alias: AliasMode::Precise,
+                replicate,
+                ..DswpOptions::default()
+            };
+            if dswp_loop(&mut p, main, w.header, &baseline.profile, &opts).is_err() {
+                continue; // single-SCC / unprofitable under this partitioning
+            }
+
+            let exec = Executor::new(&p)
+                .run()
+                .unwrap_or_else(|e| panic!("{}: executor failed: {e}", w.name));
+            let native = Runtime::new(&p)
+                .with_config(RtConfig::default().record_streams(true))
+                .run()
+                .unwrap_or_else(|e| panic!("{}: native runtime failed: {e}", w.name));
+            let ctx = format!("{} ({replicate:?})", w.name);
+            assert_eq!(exec.memory, baseline.memory, "{ctx}: executor memory");
+            assert_eq!(native.memory, baseline.memory, "{ctx}: native memory");
+            assert_eq!(native.entry_regs, exec.entry_regs, "{ctx}: entry regs");
+            assert_eq!(
+                native.streams.as_ref().unwrap(),
+                &exec.streams,
+                "{ctx}: queue streams"
+            );
+            let steps: Vec<u64> = native.stages.iter().map(|s| s.steps).collect();
+            assert_eq!(steps, exec.steps, "{ctx}: per-context steps");
+
+            let map = PipelineMap::infer(&p);
+            map.validate()
+                .unwrap_or_else(|e| panic!("{ctx}: pipeline map invalid: {e}"));
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Parallel-stage replication: correctness against the single-threaded
+//! interpreter oracle.
+//!
+//! The replicated pipeline must be *observably identical* to the
+//! unreplicated one (and hence to the original sequential loop): same
+//! final memory, same main-context registers, and — because the gather
+//! restores iteration order — the same value stream on every pre-existing
+//! queue. The property test drives randomly generated DOALL-shaped loops
+//! through random replica counts and queue capacities on all three
+//! engines.
+
+use dswp_repro::analysis::AliasMode;
+use dswp_repro::dswp::{annotate_loop_affine, dswp_loop, DswpOptions, Replicate};
+use dswp_repro::ir::interp::Interpreter;
+use dswp_repro::ir::{BinOp, Program, ProgramBuilder, RegionId};
+use dswp_repro::rt::{RtConfig, Runtime};
+use dswp_repro::sim::Executor;
+use dswp_repro::workloads::{paper_suite, Size};
+use dswp_testutil::Rng;
+
+/// DSWP-transforms `program` with replication requested, returning the
+/// transformed program, the interpreter-baseline memory of the original,
+/// and whether replication was actually applied.
+fn transform_replicated(
+    program: &Program,
+    header: dswp_repro::ir::BlockId,
+    replicate: Replicate,
+) -> (Program, Vec<i64>, bool) {
+    let baseline = Interpreter::new(program).run().expect("baseline");
+    let mut p = program.clone();
+    let main = p.main();
+    annotate_loop_affine(&mut p, main, header).expect("scev");
+    let opts = DswpOptions {
+        alias: AliasMode::Precise,
+        replicate,
+        ..DswpOptions::default()
+    };
+    let report = dswp_loop(&mut p, main, header, &baseline.profile, &opts).expect("dswp");
+    (p, baseline.memory, report.replication.is_some())
+}
+
+/// Generates a random DOALL-shaped loop: `for i in 0..n { out[i] =
+/// hash(in[i]) }` with a random straight-line hash chain. Every iteration
+/// is independent, so the body stage is always legally replicable.
+fn random_doall(rng: &mut Rng, n: i64) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.function("main");
+    let entry = f.entry_block();
+    let header = f.block("header");
+    let body = f.block("body");
+    let exit = f.block("exit");
+
+    let (i, bound, inb, outb, t, a_in, a_out, c) = (
+        f.reg(),
+        f.reg(),
+        f.reg(),
+        f.reg(),
+        f.reg(),
+        f.reg(),
+        f.reg(),
+        f.reg(),
+    );
+    f.switch_to(entry);
+    f.iconst(i, 0);
+    f.iconst(bound, n);
+    f.iconst(inb, 0);
+    f.iconst(outb, n);
+    f.jump(header);
+
+    f.switch_to(header);
+    f.cmp_ge(t, i, bound);
+    f.br(t, exit, body);
+
+    f.switch_to(body);
+    f.add(a_in, inb, i);
+    f.load_region(c, a_in, 0, RegionId(0));
+    // A random chain of 4..10 arithmetic steps over `c` (and sometimes
+    // `i`), heavy enough that the TPP heuristic puts it in its own stage.
+    let steps = rng.range(4, 10);
+    for _ in 0..steps {
+        let op = *rng.pick(&[BinOp::Add, BinOp::Mul, BinOp::Xor, BinOp::And, BinOp::Shr]);
+        let rhs = if rng.chance(1, 4) { i } else { c };
+        match op {
+            BinOp::Shr => {
+                let k = f.reg();
+                f.iconst(k, rng.range_i64(1, 5));
+                f.binary(c, BinOp::Shr, c, k);
+            }
+            _ => {
+                if rng.bool() {
+                    f.binary(c, op, c, rhs);
+                } else {
+                    let k = f.reg();
+                    f.iconst(k, rng.range_i64(1, 1 << 16));
+                    f.binary(c, op, c, k);
+                }
+            }
+        }
+    }
+    f.add(a_out, outb, i);
+    f.store_region(c, a_out, 0, RegionId(1));
+    f.add(i, i, 1);
+    f.jump(header);
+
+    f.switch_to(exit);
+    f.halt();
+    let main = f.finish();
+
+    let mut mem: Vec<i64> = Vec::with_capacity(2 * n as usize);
+    for k in 0..n {
+        mem.push(rng.range_i64(-(1 << 30), 1 << 30).wrapping_mul(k + 1));
+    }
+    mem.resize(2 * n as usize, 0);
+    pb.finish_with_memory(main, mem)
+}
+
+/// Runs `p` on the executor and the native runtime and checks both against
+/// the interpreter-baseline memory, including queue streams and
+/// per-context retired-step counts (native vs executor).
+fn check_all_engines(ctx: &str, p: &Program, baseline_memory: &[i64], cfg: RtConfig) {
+    let exec = Executor::new(p)
+        .run()
+        .unwrap_or_else(|e| panic!("{ctx}: executor failed: {e}"));
+    assert_eq!(exec.memory, baseline_memory, "{ctx}: executor memory");
+    let native = Runtime::new(p)
+        .with_config(cfg.record_streams(true))
+        .run()
+        .unwrap_or_else(|e| panic!("{ctx}: native runtime failed: {e}"));
+    assert_eq!(native.memory, baseline_memory, "{ctx}: native memory");
+    assert_eq!(native.entry_regs, exec.entry_regs, "{ctx}: entry regs");
+    assert_eq!(
+        native.streams.as_ref().unwrap(),
+        &exec.streams,
+        "{ctx}: queue streams"
+    );
+    let steps: Vec<u64> = native.stages.iter().map(|s| s.steps).collect();
+    assert_eq!(steps, exec.steps, "{ctx}: per-context steps");
+}
+
+#[test]
+fn replicated_compress_matches_interpreter() {
+    let w = dswp_repro::workloads::compress::build(Size::Test);
+    for replicas in [2usize, 3, 4] {
+        let (p, mem, applied) =
+            transform_replicated(&w.program, w.header, Replicate::Fixed(replicas));
+        assert!(applied, "compress must replicate at {replicas}");
+        check_all_engines(
+            &format!("compress x{replicas}"),
+            &p,
+            &mem,
+            RtConfig::default(),
+        );
+    }
+}
+
+#[test]
+fn replication_property_random_doall_loops() {
+    let mut rng = Rng::new(0xD05_11A5);
+    let mut applied_count = 0;
+    let cases = dswp_testutil::cases(12);
+    for case in 0..cases {
+        let p = random_doall(&mut rng, 48);
+        let replicas = rng.range(1, 9);
+        let capacity = *rng.pick(&[1usize, 2, 8, 32]);
+        let (tp, mem, applied) =
+            transform_replicated(&p, dswp_repro::ir::BlockId(1), Replicate::Fixed(replicas));
+        if applied {
+            applied_count += 1;
+        } else {
+            assert!(
+                replicas < 2,
+                "case {case}: replication refused at {replicas}"
+            );
+        }
+        let ctx = format!("case {case} (x{replicas}, cap {capacity})");
+        check_all_engines(
+            &ctx,
+            &tp,
+            &mem,
+            RtConfig::default().queue_capacity(capacity),
+        );
+        // Batching composes with replication.
+        check_all_engines(
+            &format!("{ctx} batched"),
+            &tp,
+            &mem,
+            RtConfig::default().queue_capacity(32).batch(8),
+        );
+    }
+    assert!(
+        applied_count >= cases / 2,
+        "replication applied in only {applied_count}/{cases} cases"
+    );
+}
+
+#[test]
+fn replicate_auto_picks_doall_stages() {
+    for w in paper_suite(Size::Test) {
+        let baseline = Interpreter::new(&w.program).run().expect("baseline");
+        let mut p = w.program.clone();
+        let main = p.main();
+        annotate_loop_affine(&mut p, main, w.header).expect("scev");
+        let opts = DswpOptions {
+            alias: AliasMode::Precise,
+            replicate: Replicate::Auto { cores: Some(4) },
+            ..DswpOptions::default()
+        };
+        let Ok(report) = dswp_loop(&mut p, main, w.header, &baseline.profile, &opts) else {
+            continue; // single-SCC / unprofitable workloads are not at issue
+        };
+        // `compress` and `jpegenc` are DOALL as written; `art` is only
+        // DOALL after accumulator expansion (its partial sums are real
+        // carried recurrences), so replication must refuse it.
+        if w.name.contains("compress") || w.name.contains("jpeg") {
+            let info = report
+                .replication
+                .unwrap_or_else(|| panic!("{}: DOALL workload did not replicate", w.name));
+            assert!(info.replicas >= 2, "{}: degenerate replica count", w.name);
+        } else {
+            assert!(
+                report.replication.is_none() || w.doall,
+                "{}: unexpected replication of a non-DOALL workload",
+                w.name
+            );
+        }
+        check_all_engines(w.name, &p, &baseline.memory, RtConfig::default());
+    }
+}
