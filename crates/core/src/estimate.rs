@@ -115,6 +115,26 @@ pub fn estimated_speedup(
     costs.total / bottleneck
 }
 
+/// Predicted pipeline bottleneck (slowest effective stage time) after
+/// applying a replication `plan` of `(stage, replicas)` pairs: a stage
+/// granted `k` replicas contributes `times[stage] / k`, everything else
+/// contributes its raw time. This is the quantity the `--replicate auto`
+/// water-filling in [`crate::stage_map::Tuner::replica_plans`] minimizes.
+pub fn replicated_bottleneck(stage_times: &[f64], plan: &[(usize, usize)]) -> f64 {
+    stage_times
+        .iter()
+        .enumerate()
+        .map(|(t, &time)| {
+            let k = plan
+                .iter()
+                .find(|&&(s, _)| s == t)
+                .map(|&(_, k)| k.max(1))
+                .unwrap_or(1);
+            time / k as f64
+        })
+        .fold(0.0_f64, f64::max)
+}
+
 #[cfg(test)]
 mod tests {
     // Exercised end-to-end through the partitioner tests in

@@ -24,7 +24,9 @@ use crate::error::DswpError;
 use crate::estimate::{estimated_speedup, scc_costs, stage_times};
 use crate::normalize::normalize_loop;
 use crate::partition::{tpp_heuristic, Partitioning, TppOptions};
-use crate::replicate::{replicable_stages, replicate_stage, Replicate, ReplicationInfo};
+use crate::replicate::{
+    replicable_stages, replicate_stage, Replicate, ReplicationInfo, ScatterPolicy,
+};
 use crate::stage_map::Tuner;
 use crate::transform::{apply_dswp, DswpArtifacts};
 
@@ -42,11 +44,36 @@ pub struct DswpOptions {
     /// Caller-specified partitioning, bypassing the heuristic and the
     /// profitability gate (used by the manual/iterative search).
     pub partitioning: Option<Partitioning>,
-    /// Parallel-stage replication request (see [`crate::replicate`]). The
-    /// heaviest replicable stage is replicated after the split; when no
-    /// stage is legal (or structurally eligible) the pipeline is left
-    /// unreplicated and [`DswpReport::replication`] is `None`.
+    /// Parallel-stage replication request (see [`crate::replicate`]).
+    /// Every legal DOALL stage is replicated after the split —
+    /// [`Replicate::Fixed`] gives each one the same replica count,
+    /// [`Replicate::Auto`] distributes a total-core budget across them by
+    /// water-filling on the stage-time estimate. When no stage is legal
+    /// (or structurally eligible) the pipeline is left unreplicated and
+    /// [`DswpReport::replication`] stays empty.
+    ///
+    /// ```
+    /// use dswp::{DswpOptions, Replicate};
+    ///
+    /// // Replicate every DOALL stage 4 ways:
+    /// let opts = DswpOptions {
+    ///     replicate: Replicate::Fixed(4),
+    ///     ..DswpOptions::default()
+    /// };
+    /// assert_eq!(opts.replicate, Replicate::Fixed(4));
+    ///
+    /// // Let the load model split 8 cores across the DOALL stages:
+    /// let auto = DswpOptions {
+    ///     replicate: Replicate::Auto { cores: Some(8) },
+    ///     ..DswpOptions::default()
+    /// };
+    /// assert_eq!(auto.replicate, Replicate::Auto { cores: Some(8) });
+    /// ```
     pub replicate: Replicate,
+    /// How each replicated stage's scatter routes iterations to replicas:
+    /// deterministic round-robin (default) or least-loaded work-stealing
+    /// driven by queue-depth feedback.
+    pub scatter: ScatterPolicy,
 }
 
 impl Default for DswpOptions {
@@ -58,6 +85,7 @@ impl Default for DswpOptions {
             latency: LatencyTable::default(),
             partitioning: None,
             replicate: Replicate::Off,
+            scatter: ScatterPolicy::RoundRobin,
         }
     }
 }
@@ -79,9 +107,10 @@ pub struct DswpReport {
     pub estimated_speedup: f64,
     /// Split artifacts: flow counts, auxiliary/master functions, queues.
     pub artifacts: DswpArtifacts,
-    /// What parallel-stage replication did, if it was requested *and*
-    /// applied (`None` when off, not legal, or not structurally eligible).
-    pub replication: Option<ReplicationInfo>,
+    /// What parallel-stage replication did, one entry per replicated
+    /// stage in pipeline order (empty when off, not legal, or not
+    /// structurally eligible).
+    pub replication: Vec<ReplicationInfo>,
 }
 
 /// Structural statistics of a candidate loop (without transforming it) —
@@ -285,8 +314,9 @@ pub fn dswp_loop(
 
     // Replication plan (decided before the split mutates the function:
     // legality and the stage-time estimate both need the pre-split PDG).
-    let repl_plan = match opts.replicate {
-        Replicate::Off => None,
+    // One `(stage, replicas)` pair per stage to replicate, in stage order.
+    let repl_plan: Vec<(usize, usize)> = match opts.replicate {
+        Replicate::Off => Vec::new(),
         _ => {
             let replicable = replicable_stages(f, &pdg, &dag, &partitioning, opts.alias);
             let times = stage_times(
@@ -300,18 +330,18 @@ pub fn dswp_loop(
                 opts.latency.queue,
             );
             match opts.replicate {
-                Replicate::Off => None,
+                Replicate::Off => Vec::new(),
                 Replicate::Fixed(k) if k >= 2 => (0..partitioning.num_threads)
                     .filter(|&t| replicable[t])
-                    .max_by(|&a, &b| times[a].total_cmp(&times[b]))
-                    .map(|t| (t, k)),
-                Replicate::Fixed(_) => None,
+                    .map(|t| (t, k))
+                    .collect(),
+                Replicate::Fixed(_) => Vec::new(),
                 Replicate::Auto { cores } => {
                     let tuner = match cores {
                         Some(c) => Tuner::with_cores(c),
                         None => Tuner::detect(),
                     };
-                    tuner.replica_plan(&times, &replicable)
+                    tuner.replica_plans(&times, &replicable)
                 }
             }
         }
@@ -325,9 +355,23 @@ pub fn dswp_loop(
         .sum();
     let loop_blocks = l.blocks.len();
     let artifacts = apply_dswp(program, func, &norm, &l, &pdg, &dag, &partitioning)?;
-    let replication = repl_plan.and_then(|(t, k)| {
-        replicate_stage(program, func, &norm, artifacts.aux_functions[t - 1], t, k)
-    });
+    // Replicate each planned stage in turn. The calls compose: every call
+    // only rewrites its own stage's auxiliary function and mints fresh
+    // queues/functions, so earlier replications are never disturbed.
+    let replication: Vec<ReplicationInfo> = repl_plan
+        .into_iter()
+        .filter_map(|(t, k)| {
+            replicate_stage(
+                program,
+                func,
+                &norm,
+                artifacts.aux_functions[t - 1],
+                t,
+                k,
+                opts.scatter,
+            )
+        })
+        .collect();
     Ok(DswpReport {
         loop_header: header,
         loop_blocks,

@@ -11,16 +11,20 @@
 //!
 //! * a **scatter** function takes over the replicated stage's original
 //!   hardware context, consuming the stage's upstream queues in iteration
-//!   order and forwarding each iteration's values round-robin to a
-//!   per-replica *instance* of every queue;
+//!   order and forwarding each iteration's values to a per-replica
+//!   *instance* of every queue — round-robin by default, or to the
+//!   least-loaded replica under [`ScatterPolicy::WorkStealing`] (queue-depth
+//!   feedback through the non-blocking `DEPTH` probe, with the bounded
+//!   instance queues themselves providing per-replica backlog limits);
 //! * `N` **replica** functions (clones of the stage's auxiliary loop
 //!   function with queue ids remapped to their instance) run on `N` fresh
 //!   contexts;
 //! * an optional **gather** function restores iteration order on the
 //!   stage's downstream queues, driven by an iteration-tag control queue
-//!   fed by the scatter (`1` = an iteration was dispatched, `0` = the loop
-//!   exited), so downstream stages observe *exactly* the value streams of
-//!   the unreplicated pipeline.
+//!   fed by the scatter (`r + 1` = the iteration was dispatched to replica
+//!   `r`, `0` = the loop exited), so downstream stages observe *exactly*
+//!   the value streams of the unreplicated pipeline no matter how
+//!   iterations were routed.
 //!
 //! Because the scatter runs every iteration sequentially it can also carry
 //! values across the back edge on behalf of the replicas: a register that
@@ -56,16 +60,36 @@ pub enum Replicate {
     /// No replication (the default).
     #[default]
     Off,
-    /// Replicate the heaviest replicable stage exactly this many ways
-    /// (values below 2 are a no-op).
+    /// Replicate *every* replicable stage exactly this many ways (values
+    /// below 2 are a no-op).
     Fixed(usize),
-    /// Pick the replica count from the stage-time estimate so the
-    /// replicated stage stops being the bottleneck, capped by `cores`
-    /// (`None` = detect with [`std::thread::available_parallelism`]).
+    /// Distribute a total-core budget across every replicable stage with
+    /// the stage-time estimate (greedy water-filling: the stage with the
+    /// worst per-replica time gets the next core), stopping once no
+    /// replicable stage is the pipeline bottleneck. `cores` caps the total
+    /// replica count (`None` = detect with
+    /// [`std::thread::available_parallelism`]).
     Auto {
         /// Hardware threads assumed available, if overriding detection.
         cores: Option<usize>,
     },
+}
+
+/// How a replicated stage's scatter routes iterations to replicas.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ScatterPolicy {
+    /// Iteration `j` goes to replica `j mod n` (the default): fully
+    /// deterministic, ideal when every iteration costs about the same.
+    #[default]
+    RoundRobin,
+    /// Each iteration goes to the replica whose pending-input backlog is
+    /// currently smallest (queue-depth feedback via
+    /// [`Op::QueueDepth`]; ties break to the
+    /// lowest replica index). The iteration-tagged gather restores output
+    /// order, so results stay bit-identical to round-robin — only the
+    /// iteration→replica assignment changes. Wins when per-iteration cost
+    /// is skewed.
+    WorkStealing,
 }
 
 /// What replication did, reported in
@@ -76,6 +100,8 @@ pub struct ReplicationInfo {
     pub stage: usize,
     /// Number of replicas.
     pub replicas: usize,
+    /// How the scatter routes iterations to replicas.
+    pub policy: ScatterPolicy,
     /// The scatter function (runs on the stage's original context).
     pub scatter: FuncId,
     /// The gather function, if the stage produces downstream values.
@@ -381,12 +407,20 @@ fn add_master(program: &mut Program, name: String, mq: QueueId) -> FuncId {
 
 /// Replicates pipeline `stage` (whose auxiliary loop function is
 /// `aux_fid`) `replicas` ways, in place, after [`apply_dswp`] has run.
+/// `policy` selects how the scatter routes iterations (round-robin or
+/// work-stealing); routing never changes observable results, only which
+/// replica runs which iteration.
 ///
 /// Legality must have been established with [`replicable_stages`] first;
 /// this function additionally verifies the *structural* preconditions on
 /// the emitted code (see the private `AuxShape` discovery) and returns `None` — leaving the
 /// program untouched — if the stage's shape is not one it can prove
 /// correct. `replicas < 2` is also a no-op.
+///
+/// Calls compose: replicating stage `t1` and then stage `t2` of the same
+/// pipeline touches disjoint auxiliary functions, so every legal DOALL
+/// stage of a pipeline can be replicated in one pass by applying this
+/// function once per stage.
 ///
 /// [`apply_dswp`]: crate::transform::apply_dswp
 pub fn replicate_stage(
@@ -396,6 +430,7 @@ pub fn replicate_stage(
     aux_fid: FuncId,
     stage: usize,
     replicas: usize,
+    policy: ScatterPolicy,
 ) -> Option<ReplicationInfo> {
     let n = replicas;
     if n < 2 {
@@ -541,12 +576,17 @@ pub fn replicate_stage(
     }
 
     // ---- scatter ----
+    let steal = policy == ScatterPolicy::WorkStealing;
     let scatter_fid = {
         let mut sf = Function::new(format!("dswp.scatter{stage}"));
         let c = sf.new_reg();
         let ctr = sf.new_reg();
         let t = sf.new_reg();
         let v = sf.new_reg();
+        // Work-stealing scratch: the running minimum backlog and the
+        // probed depth of the replica under consideration.
+        let best = sf.new_reg();
+        let d = sf.new_reg();
         let hold: Vec<Option<Reg>> = shape
             .in_data
             .iter()
@@ -558,6 +598,18 @@ pub fn replicate_stage(
         let b_exit = sf.add_block("exit");
         let disp: Vec<BlockId> = (0..n).map(|r| sf.add_block(format!("disp{r}"))).collect();
         let fwd: Vec<BlockId> = (0..n).map(|r| sf.add_block(format!("fwd{r}"))).collect();
+        // Work-stealing pick chain: `pick` seeds the argmin scan with
+        // replica 0, then `chk[r-1]`/`upd[r-1]` fold in replica r. Strict
+        // less-than keeps ties on the lowest index, so the executor (whose
+        // depths are deterministic) routes reproducibly.
+        let (b_pick, chk, upd) = if steal {
+            let pick = sf.add_block("pick");
+            let chk: Vec<BlockId> = (1..n).map(|r| sf.add_block(format!("chk{r}"))).collect();
+            let upd: Vec<BlockId> = (1..n).map(|r| sf.add_block(format!("upd{r}"))).collect();
+            (Some(pick), chk, upd)
+        } else {
+            (None, Vec::new(), Vec::new())
+        };
         sf.set_entry(b_entry);
         for (k, sq) in scatter_init.iter().enumerate() {
             if let Some(q) = sq {
@@ -599,9 +651,68 @@ pub fn replicate_stage(
             Op::Br {
                 cond: t,
                 then_: b_exit,
-                else_: disp[0],
+                else_: b_pick.unwrap_or(disp[0]),
             },
         );
+        if let Some(b_pick) = b_pick {
+            sf.append_op(
+                b_pick,
+                Op::QueueDepth {
+                    dst: best,
+                    queue: flag_inst[0],
+                },
+            );
+            sf.append_op(b_pick, Op::Const { dst: ctr, value: 0 });
+            sf.append_op(
+                b_pick,
+                Op::Jump {
+                    target: *chk.first().unwrap_or(&disp[0]),
+                },
+            );
+            for r in 1..n {
+                let next = *chk.get(r).unwrap_or(&disp[0]);
+                sf.append_op(
+                    chk[r - 1],
+                    Op::QueueDepth {
+                        dst: d,
+                        queue: flag_inst[r],
+                    },
+                );
+                sf.append_op(
+                    chk[r - 1],
+                    Op::Cmp {
+                        dst: t,
+                        op: CmpOp::Lt,
+                        lhs: d.into(),
+                        rhs: best.into(),
+                    },
+                );
+                sf.append_op(
+                    chk[r - 1],
+                    Op::Br {
+                        cond: t,
+                        then_: upd[r - 1],
+                        else_: next,
+                    },
+                );
+                sf.append_op(
+                    upd[r - 1],
+                    Op::Unary {
+                        dst: best,
+                        op: dswp_ir::UnOp::Mov,
+                        src: d.into(),
+                    },
+                );
+                sf.append_op(
+                    upd[r - 1],
+                    Op::Const {
+                        dst: ctr,
+                        value: r as i64,
+                    },
+                );
+                sf.append_op(upd[r - 1], Op::Jump { target: next });
+            }
+        }
         for r in 0..n {
             if r + 1 < n {
                 sf.append_op(
@@ -683,34 +794,39 @@ pub fn replicate_stage(
                 );
             }
             if let Some(ctl) = ctl {
+                // Tag the control entry with the chosen replica (`r + 1`;
+                // `0` is reserved for exit) so the gather can follow any
+                // routing policy without re-deriving it.
                 sf.append_op(
                     fwd[r],
                     Op::Produce {
                         queue: ctl,
-                        src: 1.into(),
+                        src: (r as i64 + 1).into(),
                     },
                 );
             }
             sf.append_op(fwd[r], Op::Jump { target: b_step });
         }
-        sf.append_op(
-            b_step,
-            Op::Binary {
-                dst: ctr,
-                op: BinOp::Add,
-                lhs: ctr.into(),
-                rhs: 1.into(),
-            },
-        );
-        sf.append_op(
-            b_step,
-            Op::Binary {
-                dst: ctr,
-                op: BinOp::Rem,
-                lhs: ctr.into(),
-                rhs: (n as i64).into(),
-            },
-        );
+        if !steal {
+            sf.append_op(
+                b_step,
+                Op::Binary {
+                    dst: ctr,
+                    op: BinOp::Add,
+                    lhs: ctr.into(),
+                    rhs: 1.into(),
+                },
+            );
+            sf.append_op(
+                b_step,
+                Op::Binary {
+                    dst: ctr,
+                    op: BinOp::Rem,
+                    lhs: ctr.into(),
+                    rhs: (n as i64).into(),
+                },
+            );
+        }
         sf.append_op(b_step, Op::Jump { target: b_head });
         for &q in &flag_inst {
             sf.append_op(
@@ -743,12 +859,12 @@ pub fn replicate_stage(
         let v = gf.new_reg();
         let b_entry = gf.add_block("entry");
         let b_head = gf.add_block("head");
+        let b_tag = gf.add_block("tag");
         let b_step = gf.add_block("step");
         let b_done = gf.add_block("done");
         let disp: Vec<BlockId> = (0..n).map(|r| gf.add_block(format!("disp{r}"))).collect();
         let fwd: Vec<BlockId> = (0..n).map(|r| gf.add_block(format!("fwd{r}"))).collect();
         gf.set_entry(b_entry);
-        gf.append_op(b_entry, Op::Const { dst: ctr, value: 0 });
         gf.append_op(b_entry, Op::Jump { target: b_head });
         gf.append_op(
             b_head,
@@ -771,9 +887,22 @@ pub fn replicate_stage(
             Op::Br {
                 cond: t,
                 then_: b_done,
-                else_: disp[0],
+                else_: b_tag,
             },
         );
+        // The control tag carries the scatter's routing decision: replica
+        // index plus one. Decoding it here keeps the gather agnostic to
+        // whether the scatter ran round-robin or work-stealing.
+        gf.append_op(
+            b_tag,
+            Op::Binary {
+                dst: ctr,
+                op: BinOp::Sub,
+                lhs: c.into(),
+                rhs: 1.into(),
+            },
+        );
+        gf.append_op(b_tag, Op::Jump { target: disp[0] });
         for r in 0..n {
             if r + 1 < n {
                 gf.append_op(
@@ -823,24 +952,6 @@ pub fn replicate_stage(
             }
             gf.append_op(fwd[r], Op::Jump { target: b_step });
         }
-        gf.append_op(
-            b_step,
-            Op::Binary {
-                dst: ctr,
-                op: BinOp::Add,
-                lhs: ctr.into(),
-                rhs: 1.into(),
-            },
-        );
-        gf.append_op(
-            b_step,
-            Op::Binary {
-                dst: ctr,
-                op: BinOp::Rem,
-                lhs: ctr.into(),
-                rhs: (n as i64).into(),
-            },
-        );
         gf.append_op(b_step, Op::Jump { target: b_head });
         gf.append_op(b_done, Op::Ret);
         Some(program.add_function(gf))
@@ -952,6 +1063,7 @@ pub fn replicate_stage(
     Some(ReplicationInfo {
         stage,
         replicas: n,
+        policy,
         scatter: scatter_fid,
         gather: gather_fid,
         replica_functions: replica_fids,

@@ -569,6 +569,62 @@ impl Tuner {
             .unwrap_or(cap);
         Some((t, k))
     }
+
+    /// Distributes a total-core budget across *every* replicable stage for
+    /// `--replicate auto`: greedy water-filling on the static per-stage
+    /// time estimate. Each round grants one more replica to the stage with
+    /// the largest *effective* time (`stage_times[t] / k[t]`), stopping
+    /// when the bottleneck is a non-replicable stage, the budget
+    /// (`sum k ≤ cores`) is spent, or every stage hit
+    /// [`max_replicas`](Self::max_replicas).
+    ///
+    /// Returns `(stage, replicas)` pairs in stage order, keeping only
+    /// stages that actually earned ≥ 2 replicas. Empty when fewer than 2
+    /// cores are assumed or no stage is replicable.
+    pub fn replica_plans(&self, stage_times: &[f64], replicable: &[bool]) -> Vec<(usize, usize)> {
+        if self.cores < 2 {
+            return Vec::new();
+        }
+        let cap = self.cores.min(self.max_replicas).max(2);
+        let repl: Vec<usize> = (0..stage_times.len())
+            .filter(|&t| replicable.get(t).copied().unwrap_or(false))
+            .collect();
+        if repl.is_empty() {
+            return Vec::new();
+        }
+        // Replicating cannot push throughput past the slowest stage that
+        // must stay sequential: that's the water level.
+        let floor = stage_times
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| !replicable.get(i).copied().unwrap_or(false))
+            .map(|(_, &x)| x)
+            .fold(0.0_f64, f64::max);
+        let mut k: BTreeMap<usize, usize> = repl.iter().map(|&t| (t, 1)).collect();
+        loop {
+            if k.values().sum::<usize>() >= self.cores {
+                break;
+            }
+            let Some(t) = repl
+                .iter()
+                .copied()
+                .filter(|&t| k[&t] < cap)
+                .max_by(|&a, &b| {
+                    (stage_times[a] / k[&a] as f64).total_cmp(&(stage_times[b] / k[&b] as f64))
+                })
+            else {
+                break;
+            };
+            if stage_times[t] / k[&t] as f64 <= floor {
+                break;
+            }
+            *k.get_mut(&t).unwrap() += 1;
+        }
+        repl.into_iter()
+            .filter(|t| k[t] >= 2)
+            .map(|t| (t, k[&t]))
+            .collect()
+    }
 }
 
 fn fmt_stages(stages: &[usize]) -> String {

@@ -336,7 +336,8 @@ impl<'p> Interpreter<'p> {
                 Op::Produce { .. }
                 | Op::Consume { .. }
                 | Op::ProduceToken { .. }
-                | Op::ConsumeToken { .. } => {
+                | Op::ConsumeToken { .. }
+                | Op::QueueDepth { .. } => {
                     return Err(InterpError::QueueOpInSingleThread(instr));
                 }
                 Op::Nop => {

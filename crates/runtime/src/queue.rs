@@ -229,6 +229,17 @@ impl SpscQueue {
     /// with a **single** release store of `tail`. Returns the number of
     /// values accepted (0 when the queue is full or `vals` is empty).
     /// Must only be called from the single producer thread.
+    ///
+    /// ```
+    /// use dswp_rt::queue::SpscQueue;
+    ///
+    /// let q = SpscQueue::new(4, false);
+    /// assert_eq!(q.push_batch(&[1, 2, 3]), 3);
+    /// // Only one slot left: the batch is truncated, never split or lost.
+    /// assert_eq!(q.push_batch(&[4, 5]), 1);
+    /// assert_eq!(q.push_batch(&[6]), 0); // full
+    /// assert_eq!(q.len(), 4);
+    /// ```
     pub fn push_batch(&self, vals: &[i64]) -> usize {
         if vals.is_empty() {
             return 0;
@@ -269,6 +280,17 @@ impl SpscQueue {
     /// many are available with a **single** acquire of `tail` and a single
     /// release store of `head`. Returns the number of values appended.
     /// Must only be called from the single consumer thread.
+    ///
+    /// ```
+    /// use dswp_rt::queue::SpscQueue;
+    ///
+    /// let q = SpscQueue::new(8, false);
+    /// q.push_batch(&[10, 20, 30]);
+    /// let mut out = Vec::new();
+    /// assert_eq!(q.pop_batch(&mut out, 2), 2); // bounded by `max`
+    /// assert_eq!(q.pop_batch(&mut out, 16), 1); // bounded by occupancy
+    /// assert_eq!(out, vec![10, 20, 30]);
+    /// ```
     pub fn pop_batch(&self, out: &mut Vec<i64>, max: usize) -> usize {
         if max == 0 {
             return 0;

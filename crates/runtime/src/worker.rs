@@ -740,6 +740,18 @@ pub(crate) fn run_worker(shared: &Shared<'_>, thread: usize) -> WorkerReport {
                     },
                 }
             }
+            Op::QueueDepth { dst, queue } => {
+                // Occupancy as visible to this context: the ring itself,
+                // plus anything this worker has produced but not yet
+                // flushed, plus refilled values it has not yet served.
+                // The snapshot is racy by design — the probe feeds a
+                // routing heuristic (work-stealing scatter), never a
+                // correctness decision.
+                let qi = queue.index();
+                let local = comm.out[qi].len() + (comm.inq[qi].vals.len() - comm.inq[qi].next);
+                frame.regs[dst.index()] = (shared.queues[qi].len() + local) as i64;
+                frame.index += 1;
+            }
             Op::Nop => {
                 frame.index += 1;
             }

@@ -346,6 +346,10 @@ fn step(
             }
             frame.index += 1;
         }
+        Op::QueueDepth { dst, queue } => {
+            frame.regs[dst.index()] = queues[queue.index()].len() as i64;
+            frame.index += 1;
+        }
         Op::Nop => {
             frame.index += 1;
         }

@@ -604,6 +604,18 @@ fn issue_cycle(
                 core.stats.queue_ops += 1;
                 frame.index += 1;
             }
+            Op::QueueDepth { dst, queue } => {
+                // Occupancy as visible to this core: entries whose
+                // communication latency has elapsed by this cycle.
+                let depth = queues[queue.index()]
+                    .entries
+                    .iter()
+                    .filter(|&&(_, vis)| vis <= cycle)
+                    .count();
+                frame.regs[dst.index()] = depth as i64;
+                frame.ready[dst.index()] = cycle + lat;
+                frame.index += 1;
+            }
             Op::Nop => {
                 frame.index += 1;
             }

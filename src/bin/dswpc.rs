@@ -24,10 +24,14 @@
 //!   --batch N|auto         native communication batch: values per queue
 //!                          publish (`auto` derives it from the capacity;
 //!                          token queues are capped low; default 1)
-//!   --replicate N|auto     replicate the heaviest DOALL stage N ways
-//!                          (`auto` sizes the replica count from the stage
-//!                          cost estimate and the available cores; requires
-//!                          `--dswp --alias precise`)
+//!   --replicate N|auto     replicate every DOALL stage N ways (`auto`
+//!                          distributes the available cores across the
+//!                          DOALL stages by the stage cost estimate;
+//!                          requires `--dswp --alias precise`)
+//!   --steal on|off         scatter routing for replicated stages: `on`
+//!                          sends each iteration to the least-loaded
+//!                          replica (queue-depth feedback), `off` keeps
+//!                          deterministic round-robin (default off)
 //!   --spin SPINS,YIELDS    native blocked-queue backoff: busy-spin then
 //!                          yield iterations before parking (default 64,32)
 //!   --chaos SEED           run `--run native` under the seeded fault plan
@@ -49,7 +53,7 @@ use dswp_repro::analysis::{AliasMode, DagScc};
 use dswp_repro::dswp::PipelineMap;
 use dswp_repro::dswp::{
     analyze_loop, annotate_loop_affine, dswp_loop, loop_stats, select_loop, unroll_loop,
-    DswpOptions, Replicate,
+    DswpOptions, Replicate, ScatterPolicy,
 };
 use dswp_repro::ir::interp::Interpreter;
 use dswp_repro::ir::verify::verify_program;
@@ -79,6 +83,7 @@ struct Args {
     queue_cap: usize,
     batch: Option<BatchPolicy>,
     replicate: Replicate,
+    steal: ScatterPolicy,
     spin: Option<(u32, u32)>,
     chaos: Option<u64>,
     deadline: Option<std::time::Duration>,
@@ -101,15 +106,17 @@ fn rt_exit_code(e: &RtError) -> u8 {
     }
 }
 
+/// One-line usage synopsis; `tests/docs.rs` checks that every flag listed
+/// here is documented in `README.md`.
+const USAGE: &str = "usage: dswpc <file.ir> [--dswp] [--loop bbN] [--unroll K] \
+     [--alias conservative|region|precise] [--threads N] [--stats] \
+     [--dot FILE] [--emit FILE] [--sim [full|half]] [--comm N] \
+     [--run [functional|native]] [--queue-cap N] [--batch N|auto] \
+     [--replicate N|auto] [--steal on|off] [--spin SPINS,YIELDS] \
+     [--chaos SEED] [--deadline MS]";
+
 fn usage() -> ! {
-    eprintln!(
-        "usage: dswpc <file.ir> [--dswp] [--loop bbN] [--unroll K] \
-         [--alias conservative|region|precise] [--threads N] [--stats] \
-         [--dot FILE] [--emit FILE] [--sim [full|half]] [--comm N] \
-         [--run [functional|native]] [--queue-cap N] [--batch N|auto] \
-         [--replicate N|auto] [--spin SPINS,YIELDS] [--chaos SEED] \
-         [--deadline MS]"
-    );
+    eprintln!("{USAGE}");
     std::process::exit(2);
 }
 
@@ -130,6 +137,7 @@ fn parse_args() -> Args {
         queue_cap: 32,
         batch: None,
         replicate: Replicate::Off,
+        steal: ScatterPolicy::RoundRobin,
         spin: None,
         chaos: None,
         deadline: None,
@@ -137,6 +145,10 @@ fn parse_args() -> Args {
     let mut it = std::env::args().skip(1).peekable();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
             "--dswp" => args.dswp = true,
             "--stats" => args.stats = true,
             "--run" => {
@@ -181,6 +193,13 @@ fn parse_args() -> Args {
                             .unwrap_or_else(|| usage()),
                     ),
                     None => usage(),
+                };
+            }
+            "--steal" => {
+                args.steal = match it.next().as_deref() {
+                    Some("on") => ScatterPolicy::WorkStealing,
+                    Some("off") => ScatterPolicy::RoundRobin,
+                    _ => usage(),
                 };
             }
             "--spin" => {
@@ -379,6 +398,7 @@ fn main() -> ExitCode {
                 alias: args.alias,
                 max_threads: args.threads,
                 replicate: args.replicate,
+                scatter: args.steal,
                 ..DswpOptions::default()
             };
             match dswp_loop(&mut program, main_fn, header, &profile, &opts) {
@@ -392,9 +412,9 @@ fn main() -> ExitCode {
                         report.artifacts.flows.final_flows,
                         report.estimated_speedup
                     );
-                    match (&report.replication, args.replicate) {
-                        (Some(info), _) => eprintln!(
-                            "replicate: stage {} x{} ({} new queue(s), {} new thread(s){})",
+                    for info in &report.replication {
+                        eprintln!(
+                            "replicate: stage {} x{} ({} new queue(s), {} new thread(s){}{})",
                             info.stage,
                             info.replicas,
                             info.new_queues,
@@ -403,10 +423,16 @@ fn main() -> ExitCode {
                                 ", gathered"
                             } else {
                                 ""
+                            },
+                            if info.policy == ScatterPolicy::WorkStealing {
+                                ", stealing"
+                            } else {
+                                ""
                             }
-                        ),
-                        (None, Replicate::Off) => {}
-                        (None, _) => eprintln!("replicate: no stage eligible"),
+                        );
+                    }
+                    if report.replication.is_empty() && args.replicate != Replicate::Off {
+                        eprintln!("replicate: no stage eligible");
                     }
                 }
                 Err(e) => {

@@ -234,7 +234,7 @@ fn chaos_differential_replicated() {
         let Ok(report) = dswp_loop(&mut p, main, w.header, &baseline.profile, &opts) else {
             continue;
         };
-        if report.replication.is_none() {
+        if report.replication.is_empty() {
             continue;
         }
         replicated += 1;
@@ -249,4 +249,103 @@ fn chaos_differential_replicated() {
         chaos_run(w.name, &p, &oracle, 0x5EB1_0000 ^ i as u64, 50, 1);
     }
     assert!(replicated >= 2, "only {replicated} workloads replicated");
+}
+
+/// Multi-stage replication under chaos, with batching enabled: a
+/// three-stage pipeline whose two worker stages are both DOALL gets both
+/// replicated (two scatter/replica/gather groups live in one program),
+/// then runs under 50 seeded fault plans with a communication batch of 8.
+#[test]
+fn chaos_differential_multi_stage_replicated() {
+    use dswp_repro::analysis::AliasMode;
+    use dswp_repro::dswp::{annotate_loop_affine, Replicate};
+    use dswp_repro::ir::{BinOp, BlockId, ProgramBuilder, RegionId};
+
+    // for i in 0..48 { out[i] = hash2(hash1(in[i])) } with two chains heavy
+    // enough that `--threads 3` puts them in separate replicable stages.
+    let n = 48i64;
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.function("main");
+    let entry = f.entry_block();
+    let header = f.block("header");
+    let body = f.block("body");
+    let exit = f.block("exit");
+    let (i, bound, inb, outb, t, a_in, a_out, c) = (
+        f.reg(),
+        f.reg(),
+        f.reg(),
+        f.reg(),
+        f.reg(),
+        f.reg(),
+        f.reg(),
+        f.reg(),
+    );
+    f.switch_to(entry);
+    f.iconst(i, 0);
+    f.iconst(bound, n);
+    f.iconst(inb, 0);
+    f.iconst(outb, n);
+    f.jump(header);
+    f.switch_to(header);
+    f.cmp_ge(t, i, bound);
+    f.br(t, exit, body);
+    f.switch_to(body);
+    f.add(a_in, inb, i);
+    f.load_region(c, a_in, 0, RegionId(0));
+    for (j, op) in [
+        BinOp::Mul,
+        BinOp::Xor,
+        BinOp::Add,
+        BinOp::Mul,
+        BinOp::Xor,
+        BinOp::Add,
+    ]
+    .iter()
+    .cycle()
+    .take(14)
+    .enumerate()
+    {
+        let k = f.reg();
+        f.iconst(k, 0x9E37 + 131 * j as i64);
+        f.binary(c, *op, c, k);
+    }
+    f.add(a_out, outb, i);
+    f.store_region(c, a_out, 0, RegionId(1));
+    f.add(i, i, 1);
+    f.jump(header);
+    f.switch_to(exit);
+    f.halt();
+    let main = f.finish();
+    let mem: Vec<i64> = (0..n)
+        .map(|k| (k * k * 7919 + 13) % (1 << 20))
+        .chain(std::iter::repeat_n(0, n as usize))
+        .collect();
+    let program = pb.finish_with_memory(main, mem);
+
+    let baseline = Interpreter::new(&program).run().expect("baseline");
+    let mut p = program.clone();
+    let main = p.main();
+    annotate_loop_affine(&mut p, main, BlockId(1)).expect("scev");
+    let opts = DswpOptions {
+        alias: AliasMode::Precise,
+        max_threads: 3,
+        replicate: Replicate::Fixed(2),
+        ..DswpOptions::default()
+    };
+    let report = dswp_loop(&mut p, main, BlockId(1), &baseline.profile, &opts).expect("dswp");
+    assert!(
+        report.replication.len() >= 2,
+        "expected two replicated stages, got {:?}",
+        report
+            .replication
+            .iter()
+            .map(|r| (r.stage, r.replicas))
+            .collect::<Vec<_>>()
+    );
+    let oracle = Executor::new(&p).run().expect("oracle");
+    assert_eq!(
+        oracle.memory, baseline.memory,
+        "oracle diverges from interpreter"
+    );
+    chaos_run("two-stage-doall", &p, &oracle, 0x3157_A6E5, 50, 8);
 }

@@ -10,22 +10,28 @@
 //! engines.
 
 use dswp_repro::analysis::AliasMode;
-use dswp_repro::dswp::{annotate_loop_affine, dswp_loop, DswpOptions, Replicate};
+use dswp_repro::dswp::{
+    annotate_loop_affine, dswp_loop, DswpOptions, DswpReport, PipelineMap, Replicate, ScatterPolicy,
+};
 use dswp_repro::ir::interp::Interpreter;
 use dswp_repro::ir::{BinOp, Program, ProgramBuilder, RegionId};
-use dswp_repro::rt::{RtConfig, Runtime};
+use dswp_repro::rt::fault::DelayFault;
+use dswp_repro::rt::{FaultPlan, RtConfig, Runtime};
 use dswp_repro::sim::Executor;
 use dswp_repro::workloads::{paper_suite, Size};
 use dswp_testutil::Rng;
 
 /// DSWP-transforms `program` with replication requested, returning the
 /// transformed program, the interpreter-baseline memory of the original,
-/// and whether replication was actually applied.
+/// and the transformation report (whose `replication` entries say what was
+/// actually replicated).
 fn transform_replicated(
     program: &Program,
     header: dswp_repro::ir::BlockId,
     replicate: Replicate,
-) -> (Program, Vec<i64>, bool) {
+    scatter: ScatterPolicy,
+    max_threads: usize,
+) -> (Program, Vec<i64>, DswpReport) {
     let baseline = Interpreter::new(program).run().expect("baseline");
     let mut p = program.clone();
     let main = p.main();
@@ -33,10 +39,24 @@ fn transform_replicated(
     let opts = DswpOptions {
         alias: AliasMode::Precise,
         replicate,
+        scatter,
+        max_threads,
         ..DswpOptions::default()
     };
     let report = dswp_loop(&mut p, main, header, &baseline.profile, &opts).expect("dswp");
-    (p, baseline.memory, report.replication.is_some())
+    (p, baseline.memory, report)
+}
+
+/// Number of queues the pipeline had before replication added its
+/// per-replica instances and control queues: on those original queues the
+/// value streams must be identical no matter how iterations were routed.
+fn original_queues(p: &Program, report: &DswpReport) -> usize {
+    p.num_queues as usize
+        - report
+            .replication
+            .iter()
+            .map(|i| i.new_queues)
+            .sum::<usize>()
 }
 
 /// Generates a random DOALL-shaped loop: `for i in 0..n { out[i] =
@@ -114,6 +134,78 @@ fn random_doall(rng: &mut Rng, n: i64) -> Program {
     pb.finish_with_memory(main, mem)
 }
 
+/// Generates a random *two-stage* DOALL pipeline: `for i in 0..n {
+/// out[i] = hash2(hash1(in[i])) }` where `hash1` and `hash2` are separate
+/// random chains heavy enough that, at `--threads 3`, the TPP heuristic
+/// puts them in separate stages — both independently replicable.
+fn random_two_stage_doall(rng: &mut Rng, n: i64) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.function("main");
+    let entry = f.entry_block();
+    let header = f.block("header");
+    let body = f.block("body");
+    let exit = f.block("exit");
+
+    let (i, bound, inb, outb, t, a_in, a_out, c) = (
+        f.reg(),
+        f.reg(),
+        f.reg(),
+        f.reg(),
+        f.reg(),
+        f.reg(),
+        f.reg(),
+        f.reg(),
+    );
+    f.switch_to(entry);
+    f.iconst(i, 0);
+    f.iconst(bound, n);
+    f.iconst(inb, 0);
+    f.iconst(outb, n);
+    f.jump(header);
+
+    f.switch_to(header);
+    f.cmp_ge(t, i, bound);
+    f.br(t, exit, body);
+
+    f.switch_to(body);
+    f.add(a_in, inb, i);
+    f.load_region(c, a_in, 0, RegionId(0));
+    // Two chains over `c`, each long enough to be its own stage.
+    for _ in 0..2 {
+        let steps = rng.range(6, 12);
+        for _ in 0..steps {
+            let op = *rng.pick(&[BinOp::Add, BinOp::Mul, BinOp::Xor, BinOp::And, BinOp::Shr]);
+            match op {
+                BinOp::Shr => {
+                    let k = f.reg();
+                    f.iconst(k, rng.range_i64(1, 5));
+                    f.binary(c, BinOp::Shr, c, k);
+                }
+                _ => {
+                    let k = f.reg();
+                    f.iconst(k, rng.range_i64(1, 1 << 16));
+                    f.binary(c, op, c, k);
+                }
+            }
+        }
+    }
+    f.add(a_out, outb, i);
+    f.store_region(c, a_out, 0, RegionId(1));
+    f.add(i, i, 1);
+    f.jump(header);
+
+    f.switch_to(exit);
+    f.halt();
+    let main = f.finish();
+
+    let mut mem: Vec<i64> = Vec::with_capacity(2 * n as usize);
+    for k in 0..n {
+        mem.push(rng.range_i64(-(1 << 30), 1 << 30).wrapping_mul(k + 1));
+    }
+    mem.resize(2 * n as usize, 0);
+    pb.finish_with_memory(main, mem)
+}
+
 /// Runs `p` on the executor and the native runtime and checks both against
 /// the interpreter-baseline memory, including queue streams and
 /// per-context retired-step counts (native vs executor).
@@ -137,13 +229,54 @@ fn check_all_engines(ctx: &str, p: &Program, baseline_memory: &[i64], cfg: RtCon
     assert_eq!(steps, exec.steps, "{ctx}: per-context steps");
 }
 
+/// The work-stealing analogue of [`check_all_engines`]: under
+/// `ScatterPolicy::WorkStealing` the native scatter's routing depends on
+/// real queue occupancy, so per-context step counts and the streams of the
+/// replication-internal queues legitimately differ between engines. What
+/// may *never* differ: final memory, main-context registers, and the value
+/// stream of every queue that existed before replication (the gather
+/// restores iteration order regardless of routing).
+fn check_engines_stealing(
+    ctx: &str,
+    p: &Program,
+    baseline_memory: &[i64],
+    cfg: RtConfig,
+    original_queues: usize,
+) {
+    let exec = Executor::new(p)
+        .run()
+        .unwrap_or_else(|e| panic!("{ctx}: executor failed: {e}"));
+    assert_eq!(exec.memory, baseline_memory, "{ctx}: executor memory");
+    let native = Runtime::new(p)
+        .with_config(cfg.record_streams(true))
+        .run()
+        .unwrap_or_else(|e| panic!("{ctx}: native runtime failed: {e}"));
+    assert_eq!(native.memory, baseline_memory, "{ctx}: native memory");
+    assert_eq!(native.entry_regs, exec.entry_regs, "{ctx}: entry regs");
+    let native_streams = native.streams.as_ref().unwrap();
+    for (q, native_stream) in native_streams.iter().enumerate().take(original_queues) {
+        assert_eq!(
+            *native_stream, exec.streams[q],
+            "{ctx}: stream of pre-existing queue {q}"
+        );
+    }
+}
+
 #[test]
 fn replicated_compress_matches_interpreter() {
     let w = dswp_repro::workloads::compress::build(Size::Test);
     for replicas in [2usize, 3, 4] {
-        let (p, mem, applied) =
-            transform_replicated(&w.program, w.header, Replicate::Fixed(replicas));
-        assert!(applied, "compress must replicate at {replicas}");
+        let (p, mem, report) = transform_replicated(
+            &w.program,
+            w.header,
+            Replicate::Fixed(replicas),
+            ScatterPolicy::RoundRobin,
+            2,
+        );
+        assert!(
+            !report.replication.is_empty(),
+            "compress must replicate at {replicas}"
+        );
         check_all_engines(
             &format!("compress x{replicas}"),
             &p,
@@ -162,9 +295,14 @@ fn replication_property_random_doall_loops() {
         let p = random_doall(&mut rng, 48);
         let replicas = rng.range(1, 9);
         let capacity = *rng.pick(&[1usize, 2, 8, 32]);
-        let (tp, mem, applied) =
-            transform_replicated(&p, dswp_repro::ir::BlockId(1), Replicate::Fixed(replicas));
-        if applied {
+        let (tp, mem, report) = transform_replicated(
+            &p,
+            dswp_repro::ir::BlockId(1),
+            Replicate::Fixed(replicas),
+            ScatterPolicy::RoundRobin,
+            2,
+        );
+        if !report.replication.is_empty() {
             applied_count += 1;
         } else {
             assert!(
@@ -193,6 +331,154 @@ fn replication_property_random_doall_loops() {
     );
 }
 
+/// Multi-stage replication: random pipelines with two replicable stages,
+/// `Fixed(k)` replicating both, checked bit-exactly on all engines (with
+/// and without batching).
+#[test]
+fn multi_stage_replication_composes() {
+    let mut rng = Rng::new(0x2057_A6E5);
+    let mut multi = 0;
+    let cases = dswp_testutil::cases(8);
+    for case in 0..cases {
+        let p = random_two_stage_doall(&mut rng, 40);
+        let replicas = rng.range(2, 5);
+        let capacity = *rng.pick(&[2usize, 8, 32]);
+        let (tp, mem, report) = transform_replicated(
+            &p,
+            dswp_repro::ir::BlockId(1),
+            Replicate::Fixed(replicas),
+            ScatterPolicy::RoundRobin,
+            3,
+        );
+        if report.replication.len() >= 2 {
+            multi += 1;
+        }
+        let ctx = format!("two-stage case {case} (x{replicas}, cap {capacity})");
+        check_all_engines(
+            &ctx,
+            &tp,
+            &mem,
+            RtConfig::default().queue_capacity(capacity),
+        );
+        check_all_engines(
+            &format!("{ctx} batched"),
+            &tp,
+            &mem,
+            RtConfig::default().queue_capacity(32).batch(8),
+        );
+    }
+    assert!(
+        multi >= cases / 2,
+        "two replicable stages in only {multi}/{cases} cases"
+    );
+}
+
+/// Work-stealing scatter: for random single- and multi-stage DOALL
+/// pipelines across replica counts and capacities, the stealing pipeline's
+/// observable results are bit-identical to round-robin's on every engine —
+/// even when one replica per group is artificially slowed (a benign
+/// injected delay), which is exactly the skew that makes the routing
+/// policies dispatch differently.
+#[test]
+fn work_stealing_matches_round_robin() {
+    let mut rng = Rng::new(0x57EA_11B5);
+    let mut exercised = 0;
+    let cases = dswp_testutil::cases(8);
+    for case in 0..cases {
+        let (p, threads) = if rng.bool() {
+            (random_two_stage_doall(&mut rng, 40), 3)
+        } else {
+            (random_doall(&mut rng, 48), 2)
+        };
+        let replicas = rng.range(2, 5);
+        let capacity = *rng.pick(&[2usize, 4, 8]);
+        let header = dswp_repro::ir::BlockId(1);
+        let (rr, mem, rep_rr) = transform_replicated(
+            &p,
+            header,
+            Replicate::Fixed(replicas),
+            ScatterPolicy::RoundRobin,
+            threads,
+        );
+        let (ws, mem_ws, rep_ws) = transform_replicated(
+            &p,
+            header,
+            Replicate::Fixed(replicas),
+            ScatterPolicy::WorkStealing,
+            threads,
+        );
+        assert_eq!(mem, mem_ws, "case {case}: baselines differ");
+        assert_eq!(
+            rep_rr.replication.len(),
+            rep_ws.replication.len(),
+            "case {case}: policies replicated different stage sets"
+        );
+        if rep_ws.replication.is_empty() {
+            continue;
+        }
+        exercised += 1;
+
+        // Deterministic executor: both policies, bit-identical observables
+        // on every queue that existed before replication.
+        let e_rr = Executor::new(&rr)
+            .run()
+            .unwrap_or_else(|e| panic!("case {case}: round-robin executor failed: {e}"));
+        let e_ws = Executor::new(&ws)
+            .run()
+            .unwrap_or_else(|e| panic!("case {case}: stealing executor failed: {e}"));
+        assert_eq!(e_rr.memory, mem, "case {case}: round-robin memory");
+        assert_eq!(e_ws.memory, mem, "case {case}: stealing memory");
+        assert_eq!(
+            e_rr.entry_regs, e_ws.entry_regs,
+            "case {case}: entry regs differ between policies"
+        );
+        let oq = original_queues(&ws, &rep_ws);
+        for q in 0..oq {
+            assert_eq!(
+                e_rr.streams[q], e_ws.streams[q],
+                "case {case}: pre-existing queue {q} stream differs between policies"
+            );
+        }
+
+        // Native runtime under skew: slow down the first replica of every
+        // group so the scatter's depth feedback actually fires. The delay
+        // is benign (timing-only), so results must not move.
+        let map = PipelineMap::infer(&ws);
+        let mut plan = FaultPlan::none(ws.num_threads());
+        for g in map.replica_groups(&ws) {
+            plan = plan.with_delay(
+                g.replica_threads[0],
+                DelayFault {
+                    every: 1,
+                    spins: 200,
+                },
+            );
+        }
+        let ctx = format!("case {case} (x{replicas}, cap {capacity}, skewed)");
+        check_engines_stealing(
+            &ctx,
+            &ws,
+            &mem,
+            RtConfig::default()
+                .queue_capacity(capacity)
+                .faults(plan.clone()),
+            oq,
+        );
+        // And batching composes with stealing.
+        check_engines_stealing(
+            &format!("{ctx} batched"),
+            &ws,
+            &mem,
+            RtConfig::default().queue_capacity(32).batch(8).faults(plan),
+            oq,
+        );
+    }
+    assert!(
+        exercised >= cases / 2,
+        "stealing exercised in only {exercised}/{cases} cases"
+    );
+}
+
 #[test]
 fn replicate_auto_picks_doall_stages() {
     for w in paper_suite(Size::Test) {
@@ -214,11 +500,12 @@ fn replicate_auto_picks_doall_stages() {
         if w.name.contains("compress") || w.name.contains("jpeg") {
             let info = report
                 .replication
+                .first()
                 .unwrap_or_else(|| panic!("{}: DOALL workload did not replicate", w.name));
             assert!(info.replicas >= 2, "{}: degenerate replica count", w.name);
         } else {
             assert!(
-                report.replication.is_none() || w.doall,
+                report.replication.is_empty() || w.doall,
                 "{}: unexpected replication of a non-DOALL workload",
                 w.name
             );
